@@ -1,0 +1,51 @@
+/// \file fig2_overall.cpp
+/// E4 — Fig. 2: overall performance of the application under the five
+/// configurations, as speedups relative to the SPMD (pure-MPI) baseline.
+/// Paper shape: AMT-no-LB is ~1.23x *slower*; GrapevineLB reaches only
+/// ~1.3x/1.5x (whole app / particle update); Greedy, Hier, and Tempered
+/// all land near 1.9x whole-app and ~3x particle-update speedup.
+///
+/// Flags: --steps --ranks-x --ranks-y --trials --iters --csv ...
+
+#include <iostream>
+
+#include "pic_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto const base = bench::make_pic_config(opts);
+
+  std::cout << "# E4 (paper Fig. 2): overall performance vs SPMD "
+               "baseline\n"
+            << "# ranks=" << base.mesh.ranks_x * base.mesh.ranks_y
+            << " colors/rank=" << base.mesh.colors_x * base.mesh.colors_y
+            << " steps=" << base.steps << "\n";
+
+  Table table{{"Configuration", "Particle (s)", "Non-particle (s)",
+               "Total (s)", "App speedup", "Particle speedup"}};
+  double spmd_total = 0.0;
+  double spmd_particle = 0.0;
+  for (auto const& named : bench::fig2_configs()) {
+    auto const result = bench::run_config(base, named);
+    if (named.label == "SPMD (no AMT)") {
+      spmd_total = result.totals.t_total;
+      spmd_particle = result.totals.t_particle;
+    }
+    table.begin_row()
+        .add_cell(named.label)
+        .add_cell(result.totals.t_particle, 1)
+        .add_cell(result.totals.t_nonparticle, 1)
+        .add_cell(result.totals.t_total, 1)
+        .add_cell(spmd_total / result.totals.t_total, 2)
+        .add_cell(spmd_particle / result.totals.t_particle, 2);
+  }
+  if (opts.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "# paper shape: no-LB ~0.8x; GrapevineLB ~1.3x/1.5x; "
+               "Greedy/Hier/Tempered ~1.9x app and ~3x particle\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+/// \file fig3_breakdown.cpp
+/// E5 — Fig. 3: the execution-time breakdown table — non-particle time
+/// t_n, particle time t_p, LB + migration time t_lb, and total, per
+/// configuration. Paper shape: t_n roughly constant (AMT adds ~8%);
+/// t_p carries all the differences; t_lb is two to three orders below the
+/// total, slightly larger for TemperedLB (trials x iterations) than for
+/// Greedy/Hier.
+///
+/// Flags: --steps --ranks-x --ranks-y --trials --iters --csv ...
+
+#include <iostream>
+
+#include "pic_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto const base = bench::make_pic_config(opts);
+
+  std::cout << "# E5 (paper Fig. 3): execution time breakdown\n"
+            << "# ranks=" << base.mesh.ranks_x * base.mesh.ranks_y
+            << " steps=" << base.steps << "\n";
+
+  Table table{{"Type", "t_n (s)", "t_p (s)", "t_lb (s)", "t_total (s)",
+               "migrations"}};
+  for (auto const& named : bench::fig2_configs()) {
+    auto const result = bench::run_config(base, named);
+    table.begin_row()
+        .add_cell(named.label)
+        .add_cell(result.totals.t_nonparticle, 1)
+        .add_cell(result.totals.t_particle, 1)
+        .add_cell(result.totals.t_lb, 2)
+        .add_cell(result.totals.t_total, 1)
+        .add_cell(result.totals.migrations);
+  }
+  if (opts.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "# paper row order matches: SPMD 1284/3478/0/4762; "
+               "TemperedLB 1416/1118/11/2546\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// \file fig4a_step_time.cpp
+/// E6 — Fig. 4a: total time per timestep (particle + non-particle + LB)
+/// for every configuration. Paper shape: SPMD and AMT-no-LB track the
+/// growing hot-spot load; the balanced configurations run much flatter
+/// with spikes at the LB steps (the cost of the balancer, RDMA resizing,
+/// and diagnostics); GrapevineLB sits between.
+///
+/// Flags: --steps --sample --csv ...
+
+#include <iostream>
+
+#include "pic_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto const base = bench::make_pic_config(opts);
+  int const sample = static_cast<int>(opts.get_int("sample", 20));
+
+  std::cout << "# E6 (paper Fig. 4a): full step time per timestep\n";
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> series;
+  for (auto const& named : bench::fig2_configs()) {
+    auto const result = bench::run_config(base, named);
+    labels.push_back(named.label);
+    std::vector<double> column;
+    column.reserve(result.steps.size());
+    for (auto const& m : result.steps) {
+      column.push_back(m.t_step);
+    }
+    series.push_back(std::move(column));
+  }
+  bench::print_series("t_step (s)", labels, series, sample,
+                      opts.get_bool("csv", false), 4);
+  std::cout << "# paper shape: unbalanced configs climb with the hot "
+               "spot; balanced configs flat with LB-step spikes\n";
+  return 0;
+}

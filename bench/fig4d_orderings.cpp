@@ -1,0 +1,74 @@
+/// \file fig4d_orderings.cpp
+/// E9 — Fig. 4d: particle update time per timestep for TemperedLB under
+/// the three §V-E candidate-task orderings (Load-Intensive straw-man,
+/// Fewest Migrations, Most Lightweight). Paper shape: Fewest Migrations
+/// performs best overall (hence its use in all other plots); Most
+/// Lightweight fails to beat even the straw-man.
+///
+/// Flags: --steps --sample --csv ...
+
+#include <iostream>
+
+#include "pic_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto const base = bench::make_pic_config(opts);
+  int const sample = static_cast<int>(opts.get_int("sample", 20));
+
+  struct OrderConfig {
+    std::string label;
+    lb::OrderKind order;
+  };
+  std::vector<OrderConfig> const orders{
+      {"LoadIntensive", lb::OrderKind::load_intensive},
+      {"FewestMigrations", lb::OrderKind::fewest_migrations},
+      {"Lightest", lb::OrderKind::lightest},
+  };
+
+  std::cout << "# E9 (paper Fig. 4d): particle update time per ordering "
+               "(TemperedLB)\n";
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> series;
+  Table totals{{"Ordering", "Particle total (s)", "Migrations",
+                "t_lb (s)", "Remote exchange (%)"}};
+  for (auto const& oc : orders) {
+    auto cfg = base;
+    cfg.mode = pic::ExecutionMode::amt;
+    cfg.strategy = "tempered";
+    cfg.lb_params.order = oc.order;
+    pic::PicApp app{cfg};
+    auto const result = app.run();
+    labels.push_back(oc.label);
+    std::vector<double> column;
+    column.reserve(result.steps.size());
+    for (auto const& m : result.steps) {
+      column.push_back(m.t_particle);
+    }
+    series.push_back(std::move(column));
+    totals.begin_row()
+        .add_cell(oc.label)
+        .add_cell(result.totals.t_particle, 1)
+        .add_cell(result.totals.migrations)
+        .add_cell(result.totals.t_lb, 2)
+        .add_cell(result.totals.exchanged > 0
+                      ? 100.0 *
+                            static_cast<double>(
+                                result.totals.remote_exchanged) /
+                            static_cast<double>(result.totals.exchanged)
+                      : 0.0,
+                  1);
+  }
+  bool const csv = opts.get_bool("csv", false);
+  bench::print_series("t_particle (s)", labels, series, sample, csv, 4);
+  std::cout << "\n# run totals per ordering\n";
+  if (csv) {
+    totals.print_csv(std::cout);
+  } else {
+    totals.print(std::cout);
+  }
+  std::cout << "# paper shape: FewestMigrations best overall; Lightest "
+               "does not beat the straw-man\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file micro_cmf.cpp
+/// M2 — microbenchmarks of the CMF build and sampling paths. The
+/// recompute-per-candidate change (§V-A change #3) multiplies BUILDCMF
+/// calls by the number of candidate tasks, so its absolute cost matters.
+
+#include <benchmark/benchmark.h>
+
+#include "lb/cmf.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace tlb;
+using namespace tlb::lb;
+
+Knowledge make_knowledge(std::size_t n, std::uint64_t seed) {
+  Knowledge k;
+  Rng rng{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    k.insert(static_cast<RankId>(i + 1), rng.uniform(0.0, 0.95));
+  }
+  return k;
+}
+
+void BM_CmfBuild(benchmark::State& state) {
+  auto const n = static_cast<std::size_t>(state.range(0));
+  auto const kind = state.range(1) == 0 ? CmfKind::original
+                                        : CmfKind::modified;
+  auto const k = make_knowledge(n, 42);
+  for (auto _ : state) {
+    Cmf cmf{kind, k.entries(), 1.0, 0};
+    benchmark::DoNotOptimize(cmf);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CmfBuild)
+    ->ArgsProduct({{16, 256, 4096}, {0, 1}});
+
+void BM_CmfSample(benchmark::State& state) {
+  auto const n = static_cast<std::size_t>(state.range(0));
+  auto const k = make_knowledge(n, 42);
+  Cmf const cmf{CmfKind::modified, k.entries(), 1.0, 0};
+  Rng rng{7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmf.sample(rng));
+  }
+}
+BENCHMARK(BM_CmfSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_KnowledgeMerge(benchmark::State& state) {
+  auto const n = static_cast<std::size_t>(state.range(0));
+  auto const a = make_knowledge(n, 1);
+  // Interleaved rank ids force a full merge.
+  Knowledge b;
+  Rng rng{2};
+  for (std::size_t i = 0; i < n; ++i) {
+    b.insert(static_cast<RankId>(2 * i), rng.uniform(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    Knowledge merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_KnowledgeMerge)->Arg(16)->Arg(256)->Arg(4096);
+
+} // namespace

@@ -1,0 +1,78 @@
+/// \file micro_gossip.cpp
+/// M1 — google-benchmark microbenchmarks of the gossip (inform) stage:
+/// cost and traffic of one epoch versus rank count and fanout, plus the
+/// coverage the epidemic reaches. Characterizes the O(P*f*k) bound the
+/// round-gated forwarding guarantees.
+
+#include <benchmark/benchmark.h>
+
+#include "lbaf/gossip_sim.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace tlb;
+
+std::vector<LoadType> half_overloaded(int p) {
+  std::vector<LoadType> loads(static_cast<std::size_t>(p), 0.0);
+  for (int i = 0; i < p; i += 2) {
+    loads[static_cast<std::size_t>(i)] = 2.0;
+  }
+  return loads;
+}
+
+void BM_GossipEpochVsRanks(benchmark::State& state) {
+  auto const p = static_cast<int>(state.range(0));
+  auto const loads = half_overloaded(p);
+  std::uint64_t seed = 1;
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    Rng rng{seed++};
+    lbaf::GossipStats stats;
+    auto knowledge = lbaf::run_gossip(loads, 1.0, 6, 8, rng, &stats);
+    benchmark::DoNotOptimize(knowledge);
+    messages = stats.messages;
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["msg_bound"] = static_cast<double>(p) * 6 * 8;
+}
+BENCHMARK(BM_GossipEpochVsRanks)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GossipEpochVsFanout(benchmark::State& state) {
+  auto const fanout = static_cast<int>(state.range(0));
+  auto const loads = half_overloaded(512);
+  std::uint64_t seed = 1;
+  double coverage = 0.0;
+  for (auto _ : state) {
+    Rng rng{seed++};
+    auto knowledge = lbaf::run_gossip(loads, 1.0, fanout, 6, rng);
+    // Mean fraction of underloaded ranks known by overloaded ranks.
+    double sum = 0.0;
+    for (int i = 0; i < 512; i += 2) {
+      sum += static_cast<double>(
+                 knowledge[static_cast<std::size_t>(i)].size()) /
+             256.0;
+    }
+    coverage = sum / 256.0;
+    benchmark::DoNotOptimize(knowledge);
+  }
+  state.counters["coverage"] = coverage;
+}
+BENCHMARK(BM_GossipEpochVsFanout)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GossipEpochVsRounds(benchmark::State& state) {
+  auto const rounds = static_cast<int>(state.range(0));
+  auto const loads = half_overloaded(512);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng{seed++};
+    auto knowledge = lbaf::run_gossip(loads, 1.0, 6, rounds, rng);
+    benchmark::DoNotOptimize(knowledge);
+  }
+}
+BENCHMARK(BM_GossipEpochVsRounds)->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

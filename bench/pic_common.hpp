@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file pic_common.hpp
+/// Shared setup for the EMPIRE-surrogate figure benches (E4-E9): the
+/// default B-Dot run configuration, config-from-flags plumbing, and the
+/// named configurations of Figs. 2-4 (SPMD, AMT-no-LB, AMT + each
+/// strategy).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pic/app.hpp"
+#include "support/config.hpp"
+#include "support/table.hpp"
+
+namespace tlb::bench {
+
+/// Default scale: 64 ranks x 24 colors, 600 steps, LB at step 2 then
+/// every 100 (the paper's schedule). Flags raise it to paper scale
+/// (--ranks-x=20 --ranks-y=20 gives the 400-rank layout).
+inline pic::PicConfig make_pic_config(Options const& opts) {
+  pic::PicConfig cfg;
+  cfg.mesh.ranks_x = static_cast<int>(opts.get_int("ranks-x", 8));
+  cfg.mesh.ranks_y = static_cast<int>(opts.get_int("ranks-y", 8));
+  cfg.mesh.colors_x = static_cast<int>(opts.get_int("colors-x", 6));
+  cfg.mesh.colors_y = static_cast<int>(opts.get_int("colors-y", 4));
+  cfg.steps = static_cast<int>(opts.get_int("steps", 600));
+  cfg.lb_period = static_cast<int>(opts.get_int("lb-period", 100));
+  cfg.first_lb_step = static_cast<int>(opts.get_int("first-lb-step", 2));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0xE3));
+  cfg.runtime_threads = static_cast<int>(opts.get_int("threads", 1));
+  cfg.bdot.total_steps = cfg.steps;
+  cfg.bdot.base_rate = opts.get_double("base-rate", 220.0);
+  cfg.bdot.growth = opts.get_double("growth", 2.2);
+  cfg.bdot.sigma_frac = opts.get_double("sigma", 0.1);
+  cfg.lb_params.num_trials =
+      static_cast<int>(opts.get_int("trials", 10));
+  cfg.lb_params.num_iterations =
+      static_cast<int>(opts.get_int("iters", 8));
+  cfg.lb_params.fanout = static_cast<int>(opts.get_int("fanout", 6));
+  cfg.lb_params.rounds = static_cast<int>(opts.get_int("rounds", 5));
+  return cfg;
+}
+
+/// One of the paper's named configurations.
+struct NamedConfig {
+  std::string label;
+  pic::ExecutionMode mode;
+  std::string strategy; // "none" when not balancing
+};
+
+/// The five configurations of Fig. 2 / Fig. 3 plus AMT-no-LB, in the
+/// paper's presentation order.
+inline std::vector<NamedConfig> fig2_configs() {
+  return {
+      {"SPMD (no AMT)", pic::ExecutionMode::spmd, "none"},
+      {"AMT without LB", pic::ExecutionMode::amt, "none"},
+      {"AMT w/GrapevineLB", pic::ExecutionMode::amt, "grapevine"},
+      {"AMT w/GreedyLB", pic::ExecutionMode::amt, "greedy"},
+      {"AMT w/HierLB", pic::ExecutionMode::amt, "hier"},
+      {"AMT w/TemperedLB", pic::ExecutionMode::amt, "tempered"},
+  };
+}
+
+/// Run one named configuration.
+inline pic::RunResult run_config(pic::PicConfig base,
+                                 NamedConfig const& named) {
+  base.mode = named.mode;
+  base.strategy = named.strategy;
+  pic::PicApp app{std::move(base)};
+  return app.run();
+}
+
+/// Emit a per-step series table: one row per sampled step, one column per
+/// configuration.
+inline void print_series(std::string const& value_name,
+                         std::vector<std::string> const& labels,
+                         std::vector<std::vector<double>> const& series,
+                         int sample_every, bool csv, int precision = 3) {
+  std::vector<std::string> headers{"step"};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  Table table{headers};
+  std::size_t const n = series.empty() ? 0 : series.front().size();
+  for (std::size_t s = 0; s < n; s += static_cast<std::size_t>(
+                                   sample_every)) {
+    table.begin_row().add_cell(s);
+    for (auto const& column : series) {
+      table.add_cell(column[s], precision);
+    }
+  }
+  std::cout << "# series: " << value_name << " (sampled every "
+            << sample_every << " steps)\n";
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+} // namespace tlb::bench

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file table_common.hpp
+/// Shared setup for the §V iteration-table benches (E1-E3 in DESIGN.md):
+/// the paper's 10^4-tasks-on-16-of-4096-ranks workload and its scaled
+/// variants, plus the row printer matching the paper's table layout.
+
+#include <iostream>
+
+#include "lb/lb_types.hpp"
+#include "lbaf/experiment.hpp"
+#include "lbaf/workload.hpp"
+#include "support/config.hpp"
+#include "support/table.hpp"
+
+namespace tlb::bench {
+
+struct TableSetup {
+  lbaf::Workload workload;
+  lb::LbParams params;
+};
+
+/// Build the §V-B experiment from command-line options. Defaults are the
+/// paper's exact counts: 4096 ranks, 16 loaded, 10^4 tasks, k=10, f=6,
+/// h=1.0, 10 iterations, 1 trial. The bimodal load profile puts a heavy
+/// population above l_ave so the original criterion has an immovable mass
+/// (the paper's stall mechanism; see DESIGN.md).
+inline TableSetup make_table_setup(Options const& opts) {
+  auto const ranks = static_cast<RankId>(opts.get_int("ranks", 4096));
+  auto const loaded = static_cast<RankId>(opts.get_int("loaded", 16));
+  auto const tasks =
+      static_cast<std::size_t>(opts.get_int("tasks", 10000));
+  auto const seed = static_cast<std::uint64_t>(opts.get_int("seed", 2021));
+
+  lbaf::BimodalSpec spec;
+  spec.heavy_fraction = opts.get_double("heavy-fraction", 0.3);
+
+  TableSetup setup{
+      lbaf::make_bimodal(ranks, loaded, tasks, spec, seed),
+      lb::LbParams::tempered(),
+  };
+  setup.params.fanout = static_cast<int>(opts.get_int("fanout", 6));
+  setup.params.rounds = static_cast<int>(opts.get_int("rounds", 10));
+  setup.params.threshold = opts.get_double("threshold", 1.0);
+  setup.params.num_iterations =
+      static_cast<int>(opts.get_int("iters", 10));
+  setup.params.num_trials = 1;
+  setup.params.order = lb::OrderKind::arbitrary;
+  setup.params.seed = seed ^ 0xabcdef;
+  return setup;
+}
+
+/// Print one experiment's trial-0 records in the paper's table layout.
+inline void print_iteration_table(lbaf::ExperimentResult const& result,
+                                  bool csv) {
+  Table table{{"Iteration", "Transfers", "Rejected", "Rejection rate (%)",
+               "Imbalance (I)"}};
+  table.begin_row()
+      .add_cell(0)
+      .add_cell("-")
+      .add_cell("-")
+      .add_cell("-")
+      .add_cell(result.initial_imbalance, 3);
+  for (auto const& r : lbaf::trial_records(result, 0)) {
+    table.begin_row()
+        .add_cell(r.iteration)
+        .add_cell(r.transfers)
+        .add_cell(r.rejected)
+        .add_cell(r.rejection_rate, 2)
+        .add_cell(r.imbalance, 3);
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+} // namespace tlb::bench

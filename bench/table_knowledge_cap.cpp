@@ -1,0 +1,81 @@
+/// \file table_knowledge_cap.cpp
+/// Extension experiment (the paper's footnote 2 future work): balance
+/// quality and gossip traffic as a function of the per-rank knowledge cap
+/// — "load balancing efficacy with more limited information to avoid this
+/// potential scalability pitfall". The cap keeps the lowest-load (most
+/// attractive) entries. The footnote also predicts, via random-graph
+/// connectivity, that modest caps should already work well.
+///
+/// Flags: --ranks --loaded --tasks --fanout --rounds --seed --csv
+
+#include <iostream>
+
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto opts = Options::parse(argc, argv);
+  if (!opts.has("ranks")) {
+    opts.set("ranks", "1024");
+  }
+  if (!opts.has("tasks")) {
+    opts.set("tasks", "4000");
+  }
+  auto const setup = bench::make_table_setup(opts);
+  auto const seed = static_cast<std::uint64_t>(opts.get_int("seed", 2021));
+
+  struct Case {
+    std::string name;
+    lbaf::Workload workload;
+  };
+  // Two regimes: the §V-B worst case (everything on 16 ranks; each
+  // overloaded rank must reach *many* targets, so small caps starve
+  // capacity) and a diffuse gradient imbalance (each overloaded rank only
+  // sheds a little, so modest caps suffice — the footnote's regime).
+  std::vector<Case> const cases{
+      {"clustered §V-B (worst case)", setup.workload},
+      {"gradient (diffuse imbalance)",
+       lbaf::make_gradient(setup.workload.num_ranks,
+                           setup.workload.tasks.size(), 4.0,
+                           lbaf::LoadDistribution::gamma, 1.0, seed)},
+  };
+
+  bool const csv = opts.get_bool("csv", false);
+  for (auto const& c : cases) {
+    std::cout << "# Extension (paper footnote 2): TemperedLB efficacy vs "
+                 "per-rank knowledge cap — "
+              << c.name << "\n"
+              << "# ranks=" << c.workload.num_ranks
+              << " tasks=" << c.workload.tasks.size() << "\n";
+    Table table{{"knowledge cap", "best I", "iter-1 I", "gossip msgs/iter",
+                 "iter-1 rejection (%)"}};
+    for (int const cap : {2, 4, 8, 16, 32, 64, 0}) {
+      auto params = setup.params;
+      params.criterion = lb::CriterionKind::relaxed;
+      params.cmf = lb::CmfKind::modified;
+      params.refresh = lb::CmfRefresh::recompute;
+      params.num_iterations = 8;
+      params.max_knowledge = cap;
+      auto const result = lbaf::run_experiment(params, c.workload);
+      auto const records = lbaf::trial_records(result, 0);
+      table.begin_row()
+          .add_cell(cap == 0 ? std::string{"unlimited"}
+                             : std::to_string(cap))
+          .add_cell(result.best_imbalance, 3)
+          .add_cell(records.front().imbalance, 3)
+          .add_cell(records.front().gossip_messages)
+          .add_cell(records.front().rejection_rate, 2);
+    }
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "# expected shape: caps starve capacity in the clustered "
+               "worst case (quality ~ cap) but modest caps already reach "
+               "near-unlimited quality under diffuse imbalance, while "
+               "bounding message size at O(cap) instead of O(P)\n";
+  return 0;
+}

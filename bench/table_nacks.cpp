@@ -1,0 +1,89 @@
+/// \file table_nacks.cpp
+/// Ablation of a design decision the paper makes in §V-A: "We do not
+/// employ the negative acknowledgements proposed by Menon, et al. [9]...
+/// we choose to recompute the CMF [instead]". This bench runs the
+/// distributed TemperedLB with and without NACKs, crossed with the CMF
+/// refresh policy, on a clustered input — quantifying how much of the
+/// NACKs' job the recomputed CMF already does.
+///
+/// Flags: --ranks --loaded --tasks-per-rank --trials --iters --seed --csv
+
+#include <iostream>
+
+#include "lb/strategy/gossip_strategy.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto const ranks = static_cast<RankId>(opts.get_int("ranks", 256));
+  auto const loaded = static_cast<RankId>(opts.get_int("loaded", 8));
+  auto const per_rank =
+      static_cast<std::size_t>(opts.get_int("tasks-per-rank", 100));
+  auto const seed = static_cast<std::uint64_t>(opts.get_int("seed", 5));
+
+  lb::StrategyInput input;
+  input.tasks.resize(static_cast<std::size_t>(ranks));
+  Rng rng{seed};
+  TaskId id = 0;
+  for (RankId r = 0; r < loaded; ++r) {
+    for (std::size_t i = 0; i < per_rank; ++i) {
+      input.tasks[static_cast<std::size_t>(r)].push_back(
+          {id++, rng.uniform(0.2, 1.8)});
+    }
+  }
+  double const before = imbalance(input.rank_loads());
+
+  std::cout << "# Ablation (§V-A): negative acknowledgements vs CMF "
+               "recomputation\n"
+            << "# ranks=" << ranks << " initial I=" << Table::fmt(before, 2)
+            << "\n";
+
+  struct Case {
+    std::string label;
+    lb::CmfRefresh refresh;
+    bool nacks;
+  };
+  std::vector<Case> const cases{
+      {"recompute, no NACKs (paper)", lb::CmfRefresh::recompute, false},
+      {"recompute, NACKs", lb::CmfRefresh::recompute, true},
+      {"build-once, no NACKs", lb::CmfRefresh::build_once, false},
+      {"build-once, NACKs (Menon-style)", lb::CmfRefresh::build_once, true},
+  };
+
+  Table table{{"configuration", "I after", "migrations", "LB messages"}};
+  for (auto const& c : cases) {
+    rt::RuntimeConfig rt_config;
+    rt_config.num_ranks = ranks;
+    rt_config.seed = seed;
+    rt::Runtime runtime{rt_config};
+    lb::GossipStrategy strategy{lb::GossipStrategy::Flavor::tempered};
+    auto params = lb::LbParams::tempered();
+    params.refresh = c.refresh;
+    params.use_nacks = c.nacks;
+    params.rounds = static_cast<int>(opts.get_int("rounds", 6));
+    params.num_trials = static_cast<int>(opts.get_int("trials", 4));
+    params.num_iterations = static_cast<int>(opts.get_int("iters", 6));
+    auto const result = strategy.balance(runtime, input, params);
+    table.begin_row()
+        .add_cell(c.label)
+        .add_cell(result.achieved_imbalance, 3)
+        .add_cell(result.migrations.size())
+        .add_cell(result.cost.lb_messages);
+  }
+  if (opts.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "# expected shape: NACKs bounce any proposal that would put "
+               "the recipient above l_ave, re-imposing the original "
+               "criterion's restriction and re-introducing the §V-B stall "
+               "on concentrated workloads — the deferred-commit + "
+               "recomputed-CMF design achieves coordination without "
+               "sacrificing the relaxed objective\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// \file table_original_criterion.cpp
+/// E1 — the §V-B rejection-rate table: iterating the *original*
+/// GrapevineLB criterion (Algorithm 2 line 35) on the 10^4-tasks-on-16-of-
+/// 4096-ranks workload. Expected shape (paper values: I 280 -> 187 and
+/// then flat, with rejection rates >94%): a single early drop, then a
+/// stall with near-total rejection.
+///
+/// Flags: --ranks --loaded --tasks --iters --fanout --rounds --threshold
+///        --seed --heavy-fraction --csv
+
+#include <iostream>
+
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto setup = bench::make_table_setup(opts);
+
+  // Pin the original GrapevineLB design point, keeping iteration count so
+  // the stall is visible.
+  setup.params.criterion = lb::CriterionKind::original;
+  setup.params.cmf = lb::CmfKind::original;
+  setup.params.refresh = lb::CmfRefresh::build_once;
+
+  std::cout << "# E1 (paper §V-B): iterated GrapevineLB with the ORIGINAL "
+               "criterion\n"
+            << "# ranks=" << setup.workload.num_ranks
+            << " tasks=" << setup.workload.tasks.size()
+            << " k=" << setup.params.rounds << " f=" << setup.params.fanout
+            << " h=" << setup.params.threshold << "\n";
+  auto const result = lbaf::run_experiment(setup.params, setup.workload);
+  bench::print_iteration_table(result, opts.get_bool("csv", false));
+  std::cout << "# paper shape: one early drop (280 -> 187), then stall "
+               "with ~100% rejection\n";
+  return 0;
+}

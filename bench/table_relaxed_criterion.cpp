@@ -1,0 +1,36 @@
+/// \file table_relaxed_criterion.cpp
+/// E2 — the §V-D rejection-rate table: the same workload as E1 balanced
+/// with the *relaxed* criterion (Algorithm 2 line 37), the modified CMF,
+/// and per-candidate CMF recomputation. Expected shape (paper: I 280 ->
+/// 3.34 after one iteration, converging to 0.623 by iteration 10, with
+/// iteration-1 rejection of only ~5%): rapid convergence, rejection rate
+/// rising only as the distribution approaches its floor.
+///
+/// Flags: --ranks --loaded --tasks --iters --fanout --rounds --threshold
+///        --seed --heavy-fraction --csv
+
+#include <iostream>
+
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+  auto const opts = Options::parse(argc, argv);
+  auto setup = bench::make_table_setup(opts);
+
+  setup.params.criterion = lb::CriterionKind::relaxed;
+  setup.params.cmf = lb::CmfKind::modified;
+  setup.params.refresh = lb::CmfRefresh::recompute;
+
+  std::cout << "# E2 (paper §V-D): iterated TemperedLB with the RELAXED "
+               "criterion\n"
+            << "# ranks=" << setup.workload.num_ranks
+            << " tasks=" << setup.workload.tasks.size()
+            << " k=" << setup.params.rounds << " f=" << setup.params.fanout
+            << " h=" << setup.params.threshold << "\n";
+  auto const result = lbaf::run_experiment(setup.params, setup.workload);
+  bench::print_iteration_table(result, opts.get_bool("csv", false));
+  std::cout << "# paper shape: I collapses in iteration 1 (280 -> 3.34) "
+               "and converges near the max-task floor (0.623)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "lb/cmf.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+Cmf::Cmf(CmfKind kind, std::span<KnownRank const> known, LoadType l_ave,
+         RankId self) {
+  l_s_ = l_ave;
+  if (kind == CmfKind::modified) {
+    for (KnownRank const& e : known) {
+      if (e.rank != self) {
+        l_s_ = std::max(l_s_, e.load);
+      }
+    }
+  }
+  if (l_s_ <= 0.0) {
+    return; // degenerate: no positive normalizer, nothing sampleable
+  }
+
+  double z = 0.0;
+  ranks_.reserve(known.size());
+  cumulative_.reserve(known.size());
+  for (KnownRank const& e : known) {
+    if (e.rank == self) {
+      continue;
+    }
+    double const w = 1.0 - e.load / l_s_;
+    if (w <= 0.0) {
+      continue; // fully loaded (or beyond): never a recipient
+    }
+    z += w;
+    ranks_.push_back(e.rank);
+    cumulative_.push_back(z);
+  }
+  if (z <= 0.0) {
+    ranks_.clear();
+    cumulative_.clear();
+    return;
+  }
+  for (double& c : cumulative_) {
+    c /= z;
+  }
+  cumulative_.back() = 1.0; // guard against rounding in the last bucket
+}
+
+RankId Cmf::sample(Rng& rng) const {
+  TLB_EXPECTS(!empty());
+  double const u = rng.uniform();
+  auto const it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  auto const idx = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_.begin()),
+      cumulative_.size() - 1);
+  return ranks_[idx];
+}
+
+double Cmf::probability(std::size_t i) const {
+  TLB_EXPECTS(i < cumulative_.size());
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+RankId Cmf::rank_at(std::size_t i) const {
+  TLB_EXPECTS(i < ranks_.size());
+  return ranks_[i];
+}
+
+} // namespace tlb::lb

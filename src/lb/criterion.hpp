@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file criterion.hpp
+/// Transfer-acceptance criteria (Algorithm 2, EVALUATECRITERION).
+///
+/// original (line 35):  accept iff  l_x + LOAD(o) <  l_ave
+/// relaxed  (line 37):  accept iff  LOAD(o)       <  l^p − l_x
+///                      equivalently l_x + LOAD(o) < l^p
+///
+/// §V-C proves the relaxed criterion is *optimal* for this transfer
+/// strategy: Lemma 1 (accepting such a transfer strictly decreases
+/// max(l_i, l_x) and hence cannot increase the objective F(D) = I_D − h + 1),
+/// and Lemma 2 (any transfer violating it cannot decrease F). The property
+/// tests in tests/lb/criterion_test.cpp check both lemmas numerically.
+
+#include "lb/lb_types.hpp"
+#include "support/types.hpp"
+
+namespace tlb::lb {
+
+/// Evaluate whether the task with load `task_load` may move from the rank
+/// whose current (speculative) load is `l_p` to a recipient whose
+/// last-known load is `l_x`.
+[[nodiscard]] constexpr bool evaluate_criterion(CriterionKind kind,
+                                                LoadType l_x,
+                                                LoadType task_load,
+                                                LoadType l_ave, LoadType l_p) {
+  switch (kind) {
+  case CriterionKind::original:
+    return l_x + task_load < l_ave;
+  case CriterionKind::relaxed:
+    return task_load < l_p - l_x;
+  }
+  return false;
+}
+
+} // namespace tlb::lb

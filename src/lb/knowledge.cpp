@@ -1,0 +1,123 @@
+#include "lb/knowledge.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+namespace {
+
+auto lower_bound_rank(std::vector<KnownRank> const& entries, RankId rank) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), rank,
+      [](KnownRank const& e, RankId r) { return e.rank < r; });
+}
+
+} // namespace
+
+void Knowledge::insert(RankId rank, LoadType load) {
+  auto const it = lower_bound_rank(entries_, rank);
+  if (it != entries_.end() && it->rank == rank) {
+    auto const idx = static_cast<std::size_t>(it - entries_.begin());
+    entries_[idx].load = load;
+    return;
+  }
+  entries_.insert(it, KnownRank{rank, load});
+}
+
+void Knowledge::merge(Knowledge const& other) {
+  // Single-pass sorted merge keeping local loads on conflict.
+  std::vector<KnownRank> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->rank < b->rank) {
+      merged.push_back(*a++);
+    } else if (b->rank < a->rank) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(*a++); // local load wins
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, entries_.end());
+  merged.insert(merged.end(), b, other.entries_.end());
+  entries_ = std::move(merged);
+}
+
+void Knowledge::add_load(RankId rank, LoadType delta) {
+  auto const it = lower_bound_rank(entries_, rank);
+  TLB_EXPECTS(it != entries_.end() && it->rank == rank);
+  auto const idx = static_cast<std::size_t>(it - entries_.begin());
+  entries_[idx].load += delta;
+}
+
+bool Knowledge::contains(RankId rank) const {
+  auto const it = lower_bound_rank(entries_, rank);
+  return it != entries_.end() && it->rank == rank;
+}
+
+void Knowledge::truncate_to(std::size_t cap) {
+  if (cap == 0 || entries_.size() <= cap) {
+    return;
+  }
+  std::vector<KnownRank> by_load = entries_;
+  std::nth_element(by_load.begin(),
+                   by_load.begin() + static_cast<std::ptrdiff_t>(cap),
+                   by_load.end(),
+                   [](KnownRank const& a, KnownRank const& b) {
+                     if (a.load != b.load) {
+                       return a.load < b.load;
+                     }
+                     return a.rank < b.rank;
+                   });
+  by_load.resize(cap);
+  std::sort(by_load.begin(), by_load.end(),
+            [](KnownRank const& a, KnownRank const& b) {
+              return a.rank < b.rank;
+            });
+  entries_ = std::move(by_load);
+}
+
+void Knowledge::pack(rt::Packer& packer) const {
+  static_assert(std::is_trivially_copyable_v<KnownRank>);
+  packer.pack(entries_);
+}
+
+Knowledge Knowledge::unpack(rt::Unpacker& unpacker) {
+  Knowledge k;
+  k.entries_ = unpacker.unpack_vector<KnownRank>();
+  // Re-validate the sorted invariant rather than trusting the sender.
+  for (std::size_t i = 1; i < k.entries_.size(); ++i) {
+    TLB_ASSERT(k.entries_[i - 1].rank < k.entries_[i].rank);
+  }
+  return k;
+}
+
+void Knowledge::truncate_random(std::size_t cap, Rng& rng) {
+  if (cap == 0 || entries_.size() <= cap) {
+    return;
+  }
+  // Partial Fisher-Yates: move a random survivor into each of the first
+  // `cap` slots, then restore the sorted-by-rank invariant.
+  for (std::size_t i = 0; i < cap; ++i) {
+    auto const j = i + rng.index(entries_.size() - i);
+    using std::swap;
+    swap(entries_[i], entries_[j]);
+  }
+  entries_.resize(cap);
+  std::sort(entries_.begin(), entries_.end(),
+            [](KnownRank const& a, KnownRank const& b) {
+              return a.rank < b.rank;
+            });
+}
+
+LoadType Knowledge::load_of(RankId rank) const {
+  auto const it = lower_bound_rank(entries_, rank);
+  TLB_EXPECTS(it != entries_.end() && it->rank == rank);
+  return it->load;
+}
+
+} // namespace tlb::lb

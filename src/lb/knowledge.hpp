@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file knowledge.hpp
+/// The partial-information state a rank accumulates during the gossip
+/// stage: the set S^p of known (initially underloaded) ranks and the
+/// LOAD^p() map of their last-known loads (Algorithm 1). Kept sorted by
+/// rank id so merges are deterministic and lookups are O(log n).
+
+#include <span>
+#include <vector>
+
+#include "runtime/serialize.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace tlb::lb {
+
+/// One entry of LOAD^p(): a known peer and its last-known load.
+struct KnownRank {
+  RankId rank = invalid_rank;
+  LoadType load = 0.0;
+
+  friend bool operator==(KnownRank const&, KnownRank const&) = default;
+};
+
+/// Sorted-by-rank collection of known peers. Invariant: ranks strictly
+/// increasing (|S^p| == |LOAD^p()| by construction, the paper's Require).
+class Knowledge {
+public:
+  Knowledge() = default;
+
+  /// Insert or overwrite the load for a rank.
+  void insert(RankId rank, LoadType load);
+
+  /// Merge another rank's knowledge. Existing entries keep the *incoming*
+  /// load only when we did not already know the rank: a rank's own local
+  /// updates (speculative transfers it directed at the peer) are fresher
+  /// than gossiped initial loads.
+  void merge(Knowledge const& other);
+
+  /// Add `delta` to a known rank's load. Precondition: rank is known.
+  void add_load(RankId rank, LoadType delta);
+
+  [[nodiscard]] bool contains(RankId rank) const;
+  /// Last-known load; precondition: rank is known.
+  [[nodiscard]] LoadType load_of(RankId rank) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::span<KnownRank const> entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Bound the knowledge to the `cap` entries with the lowest loads (the
+  /// most attractive transfer targets), breaking load ties by rank id.
+  /// cap == 0 means unlimited (no-op). Deterministic, but note that under
+  /// gossip every rank then retains the *same* globally-lightest targets,
+  /// which herds transfers — prefer truncate_random in protocols.
+  void truncate_to(std::size_t cap);
+
+  /// Bound the knowledge to a uniformly random `cap`-subset. This is the
+  /// footnote-2 bounded-knowledge variant actually used by the gossip
+  /// stage: random subsets keep per-rank target sets de-correlated (the
+  /// footnote's random-graph connectivity argument), avoiding the
+  /// thundering-herd failure of keeping the lightest entries everywhere.
+  void truncate_random(std::size_t cap, Rng& rng);
+
+  /// Wire size for network accounting: exactly what pack() emits per
+  /// entry (the serializer ships whole KnownRank records), sans the
+  /// length prefix.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return entries_.size() * sizeof(KnownRank);
+  }
+
+  /// Serialize into a Packer; the distributed gossip ships knowledge
+  /// through real bytes so the protocol is proven serialization-clean.
+  void pack(rt::Packer& packer) const;
+  /// Deserialize; inverse of pack().
+  [[nodiscard]] static Knowledge unpack(rt::Unpacker& unpacker);
+
+private:
+  std::vector<KnownRank> entries_;
+};
+
+} // namespace tlb::lb

@@ -1,0 +1,142 @@
+#include "lb/order.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+namespace {
+
+/// Strict weak ordering: descending by load, ties ascending by id.
+bool desc_load(TaskEntry const& a, TaskEntry const& b) {
+  if (a.load != b.load) {
+    return a.load > b.load;
+  }
+  return a.id < b.id;
+}
+
+/// Strict weak ordering: ascending by load, ties ascending by id.
+bool asc_load(TaskEntry const& a, TaskEntry const& b) {
+  if (a.load != b.load) {
+    return a.load < b.load;
+  }
+  return a.id < b.id;
+}
+
+/// The shared "cutoff" comparator of Algorithms 5 and 6: tasks with load
+/// <= cutoff sort descending (so the cutoff task itself is first), tasks
+/// above the cutoff follow in ascending order. This is a valid strict weak
+/// ordering: it partitions tasks into two groups with a consistent
+/// inter-group order.
+struct CutoffOrder {
+  LoadType cutoff;
+
+  bool operator()(TaskEntry const& a, TaskEntry const& b) const {
+    bool const a_lo = a.load <= cutoff;
+    bool const b_lo = b.load <= cutoff;
+    if (a_lo && b_lo) {
+      return desc_load(a, b);
+    }
+    if (!a_lo && !b_lo) {
+      return asc_load(a, b);
+    }
+    return a_lo; // light group precedes heavy group
+  }
+};
+
+std::vector<TaskEntry> copy(std::span<TaskEntry const> tasks) {
+  return {tasks.begin(), tasks.end()};
+}
+
+} // namespace
+
+std::vector<TaskEntry> order_load_intensive(std::span<TaskEntry const> tasks) {
+  auto out = copy(tasks);
+  std::sort(out.begin(), out.end(), desc_load);
+  return out;
+}
+
+std::vector<TaskEntry> order_fewest_migrations(std::span<TaskEntry const>
+                                                   tasks,
+                                               LoadType l_ave, LoadType l_p) {
+  auto out = copy(tasks);
+  if (out.empty()) {
+    return out;
+  }
+  LoadType const excess = l_p - l_ave;
+
+  LoadType max_load = std::numeric_limits<LoadType>::lowest();
+  for (TaskEntry const& t : out) {
+    max_load = std::max(max_load, t.load);
+  }
+  // Algorithm 5 line 3: no single task can cover the excess; fall back to
+  // descending order.
+  if (max_load <= excess) {
+    std::sort(out.begin(), out.end(), desc_load);
+    return out;
+  }
+
+  // Cutoff: the smallest task load strictly greater than the excess.
+  LoadType cutoff = max_load;
+  for (TaskEntry const& t : out) {
+    if (t.load > excess) {
+      cutoff = std::min(cutoff, t.load);
+    }
+  }
+  std::sort(out.begin(), out.end(), CutoffOrder{cutoff});
+  return out;
+}
+
+std::vector<TaskEntry> order_lightest(std::span<TaskEntry const> tasks,
+                                      LoadType l_ave, LoadType l_p) {
+  auto out = copy(tasks);
+  if (out.empty()) {
+    return out;
+  }
+  LoadType const excess = l_p - l_ave;
+
+  // Algorithm 6 line 5: ascending scan to find the marginal task — the
+  // first task at which the cumulative (lightest-first) load reaches the
+  // excess. If the rank is not overloaded the first (lightest) task is
+  // marginal; if even the full sum cannot cover the excess the heaviest is.
+  std::sort(out.begin(), out.end(), asc_load);
+  LoadType marginal = out.back().load;
+  LoadType prefix = 0.0;
+  for (TaskEntry const& t : out) {
+    prefix += t.load;
+    if (prefix >= excess) {
+      marginal = t.load;
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(), CutoffOrder{marginal});
+  return out;
+}
+
+std::vector<TaskEntry> order_tasks(OrderKind kind,
+                                   std::span<TaskEntry const> tasks,
+                                   LoadType l_ave, LoadType l_p) {
+  switch (kind) {
+  case OrderKind::arbitrary: {
+    // Deterministic stand-in for "hash iteration order": ascending id.
+    auto out = copy(tasks);
+    std::sort(out.begin(), out.end(),
+              [](TaskEntry const& a, TaskEntry const& b) {
+                return a.id < b.id;
+              });
+    return out;
+  }
+  case OrderKind::load_intensive:
+    return order_load_intensive(tasks);
+  case OrderKind::fewest_migrations:
+    return order_fewest_migrations(tasks, l_ave, l_p);
+  case OrderKind::lightest:
+    return order_lightest(tasks, l_ave, l_p);
+  }
+  TLB_ASSERT(false);
+  return {};
+}
+
+} // namespace tlb::lb

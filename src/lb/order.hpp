@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file order.hpp
+/// Candidate-task traversal orderings for the transfer loop (§V-E,
+/// Algorithms 4-6). All orderings are deterministic: ties in load are
+/// broken by ascending task id so the same input always yields the same
+/// sequence of proposed transfers.
+
+#include <span>
+#include <vector>
+
+#include "lb/lb_types.hpp"
+
+namespace tlb::lb {
+
+/// Produce the traversal order O^p for the transfer stage.
+/// \param kind   Which §V-E strategy to apply.
+/// \param tasks  The rank's current tasks T^p.
+/// \param l_ave  Global average rank load.
+/// \param l_p    This rank's current load (used for the excess-based
+///               orderings of Algorithms 5 and 6).
+[[nodiscard]] std::vector<TaskEntry> order_tasks(OrderKind kind,
+                                                 std::span<TaskEntry const>
+                                                     tasks,
+                                                 LoadType l_ave, LoadType l_p);
+
+/// Algorithm 4: descending load ("Migrate Load-Intensive Tasks").
+[[nodiscard]] std::vector<TaskEntry>
+order_load_intensive(std::span<TaskEntry const> tasks);
+
+/// Algorithm 5: "Fewest Migrations". The smallest task whose load exceeds
+/// the excess l^p − l_ave comes first (it can resolve the overload in a
+/// single migration); then lighter tasks by descending load, then heavier
+/// tasks by ascending load. Falls back to descending order when no single
+/// task covers the excess.
+[[nodiscard]] std::vector<TaskEntry>
+order_fewest_migrations(std::span<TaskEntry const> tasks, LoadType l_ave,
+                        LoadType l_p);
+
+/// Algorithm 6: "Migrate Most Lightweight Tasks". The marginal task — the
+/// heaviest of the ascending-prefix of tasks whose cumulative load first
+/// covers the excess — comes first; then lighter tasks descending, then
+/// heavier ascending.
+[[nodiscard]] std::vector<TaskEntry>
+order_lightest(std::span<TaskEntry const> tasks, LoadType l_ave, LoadType l_p);
+
+} // namespace tlb::lb

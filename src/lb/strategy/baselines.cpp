@@ -1,0 +1,60 @@
+#include "lb/strategy/baselines.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+
+namespace {
+
+void finalize(StrategyResult& result, StrategyInput const& input) {
+  result.new_rank_loads = project_loads(input, result.migrations);
+  result.achieved_imbalance = imbalance(result.new_rank_loads);
+  result.cost.migration_count = result.migrations.size();
+  for (Migration const& m : result.migrations) {
+    result.cost.migrated_load += m.load;
+  }
+}
+
+} // namespace
+
+StrategyResult RotateStrategy::balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& /*params*/) {
+  auto const p = input.num_ranks();
+  TLB_EXPECTS(p == rt.num_ranks());
+  StrategyResult result;
+  for (RankId r = 0; r < p; ++r) {
+    RankId const to = (r + 1) % p;
+    for (TaskEntry const& t : input.tasks[static_cast<std::size_t>(r)]) {
+      if (to != r) {
+        result.migrations.push_back(Migration{t.id, r, to, t.load});
+      }
+    }
+  }
+  finalize(result, input);
+  return result;
+}
+
+StrategyResult RandomStrategy::balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& params) {
+  auto const p = input.num_ranks();
+  TLB_EXPECTS(p == rt.num_ranks());
+  Rng rng{params.seed};
+  StrategyResult result;
+  for (RankId r = 0; r < p; ++r) {
+    for (TaskEntry const& t : input.tasks[static_cast<std::size_t>(r)]) {
+      auto const to = static_cast<RankId>(
+          rng.uniform_below(static_cast<std::uint64_t>(p)));
+      if (to != r) {
+        result.migrations.push_back(Migration{t.id, r, to, t.load});
+      }
+    }
+  }
+  finalize(result, input);
+  return result;
+}
+
+} // namespace tlb::lb

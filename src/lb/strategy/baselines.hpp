@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file baselines.hpp
+/// Trivial strategies used as test baselines and sanity anchors:
+/// RotateStrategy cyclically shifts every task one rank; RandomStrategy
+/// scatters tasks uniformly at random. Neither is a serious balancer —
+/// they exist so tests can distinguish "moves tasks correctly" from
+/// "balances well", and so benches have a worst-case-ish reference.
+
+#include "lb/strategy/strategy.hpp"
+
+namespace tlb::lb {
+
+class RotateStrategy final : public Strategy {
+public:
+  [[nodiscard]] std::string_view name() const override { return "rotate"; }
+
+  [[nodiscard]] StrategyResult balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& params) override;
+};
+
+class RandomStrategy final : public Strategy {
+public:
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+
+  [[nodiscard]] StrategyResult balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& params) override;
+};
+
+} // namespace tlb::lb

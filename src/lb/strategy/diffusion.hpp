@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file diffusion.hpp
+/// DiffusionLB: the classical neighborhood-diffusion balancer (Cybenko
+/// 1989), representing the pre-gossip generation of fully distributed
+/// schemes the paper's §IV-A characterizes as having "limited efficacy due
+/// to a lack of information". Each rank repeatedly compares its load with
+/// its ring neighbors and ships tasks toward the lighter side. Local-only
+/// knowledge means load spreads one hop per sweep — O(P) sweeps to cross
+/// the machine versus gossip's O(log P) rounds, which is exactly the
+/// contrast the gossip approach was invented to fix.
+
+#include "lb/strategy/strategy.hpp"
+
+namespace tlb::lb {
+
+class DiffusionStrategy final : public Strategy {
+public:
+  /// \param sweeps Number of neighbor-exchange sweeps; defaults to a
+  ///        small constant (classical diffusion runs a few sweeps per LB
+  ///        invocation and relies on repeated invocations).
+  explicit DiffusionStrategy(int sweeps = 8) : sweeps_{sweeps} {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "diffusion";
+  }
+
+  [[nodiscard]] StrategyResult balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& params) override;
+
+private:
+  int sweeps_;
+};
+
+} // namespace tlb::lb

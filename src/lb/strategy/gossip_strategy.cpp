@@ -1,0 +1,283 @@
+#include "lb/strategy/gossip_strategy.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "lb/transfer.hpp"
+#include "runtime/collectives.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+
+namespace {
+
+/// A task in the speculative (proposed) placement: where it physically
+/// lives (`origin`) versus where the proposal currently puts it.
+struct SpecTask {
+  TaskId id = invalid_task;
+  LoadType load = 0.0;
+  RankId origin = invalid_rank;
+};
+
+/// Per-rank protocol state for one iteration sequence. Each slot is only
+/// mutated by handlers executing on its own rank.
+struct RankState {
+  Knowledge knowledge;
+  std::uint64_t forwarded = 0; ///< bitmask of rounds already forwarded
+  LoadType load = 0.0;
+  std::vector<SpecTask> tasks;
+};
+
+struct Shared {
+  std::vector<RankState> states;
+  int fanout = 0;
+  int rounds = 0;
+  std::size_t max_knowledge = 0; ///< 0 = unlimited (footnote-2 cap)
+  bool use_nacks = false;
+  LoadType l_ave = 0.0;
+};
+
+/// Pick a gossip peer uniformly from P \ {self}, preferring ranks not yet
+/// in the local knowledge (Algorithm 1 line 20). Bounded rejection
+/// sampling with a uniform fallback keeps per-send cost O(1).
+RankId pick_peer(rt::RankContext& ctx, Knowledge const& known) {
+  auto const p = ctx.num_ranks();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto const r = static_cast<RankId>(
+        ctx.rng().uniform_below(static_cast<std::uint64_t>(p)));
+    if (r != ctx.rank() && !known.contains(r)) {
+      return r;
+    }
+  }
+  auto const r = static_cast<RankId>(
+      ctx.rng().uniform_below(static_cast<std::uint64_t>(p - 1)));
+  return r >= ctx.rank() ? r + 1 : r;
+}
+
+void forward_gossip(std::shared_ptr<Shared> const& shared,
+                    rt::RankContext& ctx, int next_round);
+
+void receive_gossip(std::shared_ptr<Shared> const& shared,
+                    rt::RankContext& ctx, Knowledge const& incoming,
+                    int round) {
+  auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+  st.knowledge.merge(incoming);
+  st.knowledge.truncate_random(shared->max_knowledge, ctx.rng());
+  if (round < shared->rounds) {
+    std::uint64_t const bit = 1ull << round;
+    if ((st.forwarded & bit) == 0) {
+      st.forwarded |= bit;
+      forward_gossip(shared, ctx, round + 1);
+    }
+  }
+}
+
+void forward_gossip(std::shared_ptr<Shared> const& shared,
+                    rt::RankContext& ctx, int next_round) {
+  auto const& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+  // Serialize the knowledge once per forwarding event; the f messages
+  // share the same byte buffer (they would carry identical wire data),
+  // which also bounds peak memory when the lists approach O(P). The
+  // receiver deserializes, proving the protocol is serialization-clean.
+  rt::Packer packer;
+  st.knowledge.pack(packer);
+  auto const snapshot = std::make_shared<std::vector<std::byte> const>(
+      std::move(packer).take());
+  std::size_t const bytes = snapshot->size() + sizeof(int);
+  for (int i = 0; i < shared->fanout; ++i) {
+    RankId const dest = pick_peer(ctx, st.knowledge);
+    ctx.send(dest, bytes, [shared, snapshot, next_round](rt::RankContext& c) {
+      rt::Unpacker unpacker{*snapshot};
+      Knowledge const incoming = Knowledge::unpack(unpacker);
+      receive_gossip(shared, c, incoming, next_round);
+    });
+  }
+}
+
+} // namespace
+
+StrategyResult GossipStrategy::balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& caller_params) {
+  auto const p = input.num_ranks();
+  TLB_EXPECTS(p == rt.num_ranks());
+  TLB_EXPECTS(p > 0);
+
+  // The flavor pins the algorithmic switches; numeric knobs (fanout,
+  // rounds, threshold, seed) always come from the caller.
+  LbParams params = caller_params;
+  bool accept_always = false;
+  if (flavor_ == Flavor::grapevine) {
+    LbParams const base = LbParams::grapevine();
+    params.criterion = base.criterion;
+    params.cmf = base.cmf;
+    params.refresh = base.refresh;
+    params.order = base.order;
+    params.num_iterations = base.num_iterations;
+    params.num_trials = base.num_trials;
+    accept_always = true;
+  }
+  TLB_EXPECTS(params.rounds >= 1 && params.rounds <= 63);
+
+  auto const stats_before = rt.stats();
+
+  // Stage 0: constant-size statistics reduction (l_max, l_ave).
+  auto const initial_loads = input.rank_loads();
+  auto const stat = rt::allreduce_loads(rt, initial_loads)[0];
+  LoadType const l_ave = stat.average();
+
+  StrategyResult result;
+  result.new_rank_loads = initial_loads;
+  result.achieved_imbalance =
+      l_ave > 0.0 ? stat.max / l_ave - 1.0 : 0.0;
+  if (l_ave <= 0.0) {
+    return result; // empty system: nothing to balance
+  }
+
+  auto shared = std::make_shared<Shared>();
+  shared->fanout = params.fanout;
+  shared->rounds = params.rounds;
+  shared->max_knowledge =
+      static_cast<std::size_t>(std::max(0, params.max_knowledge));
+  shared->use_nacks = params.use_nacks;
+  shared->l_ave = l_ave;
+  shared->states.resize(static_cast<std::size_t>(p));
+
+  auto reset_states = [&] {
+    for (RankId r = 0; r < p; ++r) {
+      auto& st = shared->states[static_cast<std::size_t>(r)];
+      st.knowledge.clear();
+      st.forwarded = 0;
+      st.load = initial_loads[static_cast<std::size_t>(r)];
+      st.tasks.clear();
+      st.tasks.reserve(input.tasks[static_cast<std::size_t>(r)].size());
+      for (TaskEntry const& t : input.tasks[static_cast<std::size_t>(r)]) {
+        st.tasks.push_back(SpecTask{t.id, t.load, r});
+      }
+    }
+  };
+
+  double best_imbalance = result.achieved_imbalance;
+  bool have_best = false;
+  std::vector<std::vector<SpecTask>> best_snapshot;
+
+  for (int trial = 0; trial < params.num_trials; ++trial) {
+    reset_states();
+
+    for (int iter = 1; iter <= params.num_iterations; ++iter) {
+      // --- Inform epoch (Algorithm 1): seed from underloaded ranks. ---
+      for (RankId r = 0; r < p; ++r) {
+        auto& st = shared->states[static_cast<std::size_t>(r)];
+        st.knowledge.clear();
+        st.forwarded = 0;
+      }
+      rt.post_all([shared, l_ave](rt::RankContext& ctx) {
+        auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+        if (st.load < l_ave) {
+          st.knowledge.insert(ctx.rank(), st.load);
+          st.forwarded |= 1ull;
+          forward_gossip(shared, ctx, 1);
+        }
+      });
+      rt.run_until_quiescent();
+
+      // --- Transfer pass (Algorithm 2) on every overloaded rank; the
+      // accepted proposals are *notification* messages: the task payload
+      // does not move until the best state is committed. ---
+      double const threshold = params.threshold;
+      LbParams const local_params = params;
+      rt.post_all([shared, l_ave, threshold,
+                   local_params](rt::RankContext& ctx) {
+        auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+        if (st.load <= threshold * l_ave) {
+          return;
+        }
+        std::vector<TaskEntry> entries;
+        entries.reserve(st.tasks.size());
+        for (SpecTask const& t : st.tasks) {
+          entries.push_back({t.id, t.load});
+        }
+        auto const transfer =
+            run_transfer(local_params, ctx.rank(), entries, st.load, l_ave,
+                         st.knowledge, ctx.rng());
+        st.load = transfer.final_load;
+        for (Migration const& m : transfer.migrations) {
+          auto const it =
+              std::find_if(st.tasks.begin(), st.tasks.end(),
+                           [&](SpecTask const& t) { return t.id == m.task; });
+          TLB_ASSERT(it != st.tasks.end());
+          SpecTask moved = *it;
+          st.tasks.erase(it);
+          RankId const sender = ctx.rank();
+          ctx.send(m.to, sizeof(SpecTask),
+                   [shared, moved, sender](rt::RankContext& dest) {
+                     auto& dst = shared->states[static_cast<std::size_t>(
+                         dest.rank())];
+                     // Menon-style negative acknowledgement (optional):
+                     // refuse proposals that would push this rank past the
+                     // average, bouncing the task back to its sender.
+                     if (shared->use_nacks &&
+                         dst.load + moved.load > shared->l_ave) {
+                       dest.send(sender, sizeof(SpecTask),
+                                 [shared, moved](rt::RankContext& back) {
+                                   auto& src = shared->states
+                                       [static_cast<std::size_t>(
+                                           back.rank())];
+                                   src.tasks.push_back(moved);
+                                   src.load += moved.load;
+                                 });
+                       return;
+                     }
+                     dst.tasks.push_back(moved);
+                     dst.load += moved.load;
+                   });
+        }
+      });
+      rt.run_until_quiescent();
+
+      // --- Algorithm 3 line 9: evaluate the proposed imbalance. ---
+      std::vector<LoadType> spec_loads(static_cast<std::size_t>(p));
+      for (RankId r = 0; r < p; ++r) {
+        spec_loads[static_cast<std::size_t>(r)] =
+            shared->states[static_cast<std::size_t>(r)].load;
+      }
+      auto const iter_stat = rt::allreduce_loads(rt, spec_loads)[0];
+      double const proposed = iter_stat.max / l_ave - 1.0;
+
+      if (proposed < best_imbalance || (accept_always && !have_best)) {
+        best_imbalance = std::min(best_imbalance, proposed);
+        have_best = true;
+        best_snapshot.assign(shared->states.size(), {});
+        for (std::size_t r = 0; r < shared->states.size(); ++r) {
+          best_snapshot[r] = shared->states[r].tasks;
+        }
+      }
+    }
+  }
+
+  // --- Algorithm 3 line 13: realize the winning placement. ---
+  if (have_best) {
+    for (std::size_t r = 0; r < best_snapshot.size(); ++r) {
+      for (SpecTask const& t : best_snapshot[r]) {
+        if (t.origin != static_cast<RankId>(r)) {
+          result.migrations.push_back(
+              Migration{t.id, t.origin, static_cast<RankId>(r), t.load});
+        }
+      }
+    }
+    result.new_rank_loads = project_loads(input, result.migrations);
+    result.achieved_imbalance = imbalance(result.new_rank_loads);
+  }
+
+  auto const stats_after = rt.stats();
+  result.cost.lb_messages = stats_after.messages - stats_before.messages;
+  result.cost.lb_bytes = stats_after.bytes - stats_before.bytes;
+  result.cost.migration_count = result.migrations.size();
+  for (Migration const& m : result.migrations) {
+    result.cost.migrated_load += m.load;
+  }
+  return result;
+}
+
+} // namespace tlb::lb

@@ -1,0 +1,128 @@
+#include "lb/strategy/greedy.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+
+namespace {
+
+struct GatheredTask {
+  TaskEntry entry;
+  RankId home = invalid_rank;
+};
+
+struct GatherState {
+  std::vector<GatheredTask> tasks;
+  RankId pending = 0;
+  /// Decisions computed by rank 0's handler, scattered to every rank;
+  /// slot r is only written by rank r's handler.
+  std::vector<std::vector<Migration>> instructions;
+};
+
+/// The centralized LPT, executed inside rank 0's handler when the last
+/// gather message lands: heaviest tasks first onto the least-loaded rank.
+std::vector<std::vector<Migration>> rank0_lpt(GatherState& gather,
+                                              RankId p) {
+  std::sort(gather.tasks.begin(), gather.tasks.end(),
+            [](GatheredTask const& a, GatheredTask const& b) {
+              if (a.entry.load != b.entry.load) {
+                return a.entry.load > b.entry.load;
+              }
+              return a.entry.id < b.entry.id;
+            });
+  using HeapItem = std::pair<LoadType, RankId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (RankId r = 0; r < p; ++r) {
+    heap.emplace(0.0, r);
+  }
+  std::vector<std::vector<Migration>> per_source(
+      static_cast<std::size_t>(p));
+  for (GatheredTask const& t : gather.tasks) {
+    auto [load, rank] = heap.top();
+    heap.pop();
+    heap.emplace(load + t.entry.load, rank);
+    if (rank != t.home) {
+      per_source[static_cast<std::size_t>(t.home)].push_back(
+          Migration{t.entry.id, t.home, rank, t.entry.load});
+    }
+  }
+  return per_source;
+}
+
+} // namespace
+
+StrategyResult GreedyStrategy::balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& /*params*/) {
+  auto const p = input.num_ranks();
+  TLB_EXPECTS(p == rt.num_ranks());
+  auto const stats_before = rt.stats();
+
+  // Gather: every rank sends its measured task list to rank 0, whose
+  // handler — on the final arrival — computes the LPT solution and
+  // scatters each source rank its migration instructions.
+  auto gather = std::make_shared<GatherState>();
+  gather->pending = p;
+  gather->instructions.resize(static_cast<std::size_t>(p));
+  for (RankId r = 0; r < p; ++r) {
+    auto const& rank_tasks = input.tasks[static_cast<std::size_t>(r)];
+    std::vector<GatheredTask> payload;
+    payload.reserve(rank_tasks.size());
+    for (TaskEntry const& t : rank_tasks) {
+      payload.push_back(GatheredTask{t, r});
+    }
+    std::size_t const bytes =
+        payload.size() * (sizeof(TaskId) + sizeof(LoadType)) +
+        sizeof(RankId);
+    rt.post(r, [gather, p, payload = std::move(payload),
+                bytes](rt::RankContext& ctx) {
+      ctx.send(0, bytes, [gather, p, payload](rt::RankContext& root) {
+        gather->tasks.insert(gather->tasks.end(), payload.begin(),
+                             payload.end());
+        if (--gather->pending > 0) {
+          return;
+        }
+        auto per_source = rank0_lpt(*gather, p);
+        for (RankId dest = 0; dest < p; ++dest) {
+          auto instructions =
+              std::move(per_source[static_cast<std::size_t>(dest)]);
+          std::size_t const instr_bytes =
+              instructions.size() * sizeof(Migration);
+          root.send(dest, instr_bytes,
+                    [gather, instructions = std::move(instructions)](
+                        rt::RankContext& ctx2) {
+                      gather->instructions[static_cast<std::size_t>(
+                          ctx2.rank())] = instructions;
+                    });
+        }
+      });
+    });
+  }
+  rt.run_until_quiescent();
+  TLB_ASSERT(gather->pending == 0);
+
+  StrategyResult result;
+  for (auto const& per_rank : gather->instructions) {
+    result.migrations.insert(result.migrations.end(), per_rank.begin(),
+                             per_rank.end());
+  }
+
+  result.new_rank_loads = project_loads(input, result.migrations);
+  result.achieved_imbalance = imbalance(result.new_rank_loads);
+
+  auto const stats_after = rt.stats();
+  result.cost.lb_messages = stats_after.messages - stats_before.messages;
+  result.cost.lb_bytes = stats_after.bytes - stats_before.bytes;
+  result.cost.migration_count = result.migrations.size();
+  for (Migration const& m : result.migrations) {
+    result.cost.migrated_load += m.load;
+  }
+  return result;
+}
+
+} // namespace tlb::lb

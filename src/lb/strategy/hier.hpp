@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file hier.hpp
+/// HierLB: a hierarchical (tree-structured) balancer in the style the
+/// paper cites from Lifflander et al. [22] and Zheng's thesis. Ranks are
+/// partitioned into ~sqrt(P) groups of ~sqrt(P); level 1 balances within
+/// each group at its leader with LPT, level 2 moves excess tasks between
+/// group leaders, and the receiving leaders place incoming tasks on their
+/// least-loaded members. Communication is gather/scatter within groups and
+/// leader-to-root at the top, giving the O(log-ish) structure that sits
+/// between centralized GreedyLB and the fully distributed gossip schemes.
+
+#include "lb/strategy/strategy.hpp"
+
+namespace tlb::lb {
+
+class HierStrategy final : public Strategy {
+public:
+  [[nodiscard]] std::string_view name() const override { return "hier"; }
+
+  [[nodiscard]] StrategyResult balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& params) override;
+};
+
+} // namespace tlb::lb

@@ -1,0 +1,44 @@
+#include "lb/strategy/lb_manager.hpp"
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+
+LbManager::LbManager(rt::Runtime& rt, std::string_view strategy,
+                     LbParams params)
+    : rt_{&rt}, strategy_{make_strategy(strategy)}, params_{params} {}
+
+std::string_view LbManager::strategy_name() const {
+  return strategy_->name();
+}
+
+StrategyInput
+LbManager::gather_input(rt::PhaseInstrumentation const& instrumentation,
+                        RankId num_ranks) {
+  StrategyInput input;
+  input.tasks.reserve(static_cast<std::size_t>(num_ranks));
+  for (RankId r = 0; r < num_ranks; ++r) {
+    input.tasks.push_back(instrumentation.previous_tasks(r));
+  }
+  return input;
+}
+
+StrategyResult LbManager::decide(StrategyInput const& input) {
+  return strategy_->balance(*rt_, input, params_);
+}
+
+LbManager::Report LbManager::invoke(StrategyInput const& input,
+                                    rt::ObjectStore& store) {
+  Report report;
+  report.imbalance_before = imbalance(input.rank_loads());
+
+  StrategyResult result = strategy_->balance(*rt_, input, params_);
+  report.imbalance_after = result.achieved_imbalance;
+  report.cost = result.cost;
+  report.migration_payload_bytes = store.migrate(*rt_, result.migrations);
+  history_.push_back(report);
+  return report;
+}
+
+} // namespace tlb::lb

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file lb_manager.hpp
+/// Ties strategies to the runtime's instrumentation and object store: at a
+/// phase boundary the manager reads the previous phase's measured task
+/// loads, runs the configured strategy, executes the resulting migrations
+/// through the object store, and records a report the application (or a
+/// bench) can inspect.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lb/strategy/strategy.hpp"
+#include "runtime/object_store.hpp"
+#include "runtime/phase.hpp"
+
+namespace tlb::lb {
+
+class LbManager {
+public:
+  /// One LB invocation's outcome.
+  struct Report {
+    std::size_t phase = 0;
+    double imbalance_before = 0.0;
+    double imbalance_after = 0.0;
+    StrategyCost cost;
+    std::size_t migration_payload_bytes = 0;
+  };
+
+  /// \param rt       Runtime the strategies communicate over.
+  /// \param strategy Name accepted by make_strategy().
+  /// \param params   Algorithm parameters (used by the gossip strategies).
+  LbManager(rt::Runtime& rt, std::string_view strategy, LbParams params);
+
+  [[nodiscard]] std::string_view strategy_name() const;
+  [[nodiscard]] LbParams const& params() const { return params_; }
+
+  /// Build a StrategyInput from the previous phase's measurements.
+  [[nodiscard]] static StrategyInput
+  gather_input(rt::PhaseInstrumentation const& instrumentation,
+               RankId num_ranks);
+
+  /// Run one LB invocation: decide migrations from `input` and execute
+  /// them on `store` (moving payloads with runtime messages).
+  Report invoke(StrategyInput const& input, rt::ObjectStore& store);
+
+  /// Decide migrations only (no object store); useful for analysis.
+  [[nodiscard]] StrategyResult decide(StrategyInput const& input);
+
+  [[nodiscard]] std::vector<Report> const& history() const {
+    return history_;
+  }
+
+private:
+  rt::Runtime* rt_;
+  std::unique_ptr<Strategy> strategy_;
+  LbParams params_;
+  std::vector<Report> history_;
+};
+
+} // namespace tlb::lb

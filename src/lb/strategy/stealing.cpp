@@ -1,0 +1,156 @@
+#include "lb/strategy/stealing.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "runtime/collectives.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+
+namespace {
+
+struct SpecTask {
+  TaskId id = invalid_task;
+  LoadType load = 0.0;
+  RankId origin = invalid_rank;
+};
+
+struct RankState {
+  LoadType load = 0.0;
+  std::vector<SpecTask> tasks; ///< kept sorted ascending by load
+};
+
+struct Shared {
+  std::vector<RankState> states;
+  LoadType l_ave = 0.0;
+};
+
+void sort_by_load(std::vector<SpecTask>& tasks) {
+  std::sort(tasks.begin(), tasks.end(),
+            [](SpecTask const& a, SpecTask const& b) {
+              if (a.load != b.load) {
+                return a.load < b.load;
+              }
+              return a.id < b.id;
+            });
+}
+
+} // namespace
+
+StrategyResult StealingStrategy::balance(rt::Runtime& rt,
+                                         StrategyInput const& input,
+                                         LbParams const& /*params*/) {
+  auto const p = input.num_ranks();
+  TLB_EXPECTS(p == rt.num_ranks());
+  auto const stats_before = rt.stats();
+
+  auto const initial_loads = input.rank_loads();
+  auto const stat = rt::allreduce_loads(rt, initial_loads)[0];
+  LoadType const l_ave = stat.average();
+
+  StrategyResult result;
+  result.new_rank_loads = initial_loads;
+  result.achieved_imbalance = l_ave > 0.0 ? stat.max / l_ave - 1.0 : 0.0;
+  if (l_ave <= 0.0 || p < 2) {
+    return result;
+  }
+
+  auto shared = std::make_shared<Shared>();
+  shared->l_ave = l_ave;
+  shared->states.resize(static_cast<std::size_t>(p));
+  for (RankId r = 0; r < p; ++r) {
+    auto& st = shared->states[static_cast<std::size_t>(r)];
+    st.load = initial_loads[static_cast<std::size_t>(r)];
+    for (TaskEntry const& t : input.tasks[static_cast<std::size_t>(r)]) {
+      st.tasks.push_back(SpecTask{t.id, t.load, r});
+    }
+    sort_by_load(st.tasks);
+  }
+
+  // Steal rounds: thieves ask, victims surrender surplus lightest-first.
+  for (int round = 0; round < rounds_; ++round) {
+    rt.post_all([shared](rt::RankContext& ctx) {
+      auto const thief = ctx.rank();
+      auto& mine = shared->states[static_cast<std::size_t>(thief)];
+      if (mine.load >= shared->l_ave) {
+        return; // not hungry
+      }
+      LoadType const appetite = shared->l_ave - mine.load;
+      auto const victim = static_cast<RankId>(
+          ctx.rng().uniform_below(
+              static_cast<std::uint64_t>(ctx.num_ranks() - 1)));
+      RankId const target = victim >= thief ? victim + 1 : victim;
+      ctx.send(target, sizeof(LoadType) + sizeof(RankId),
+               [shared, thief, appetite](rt::RankContext& v) {
+                 auto& st =
+                     shared->states[static_cast<std::size_t>(v.rank())];
+                 // Surrender tasks while above average and the thief has
+                 // appetite; lightest-first keeps granularity fine.
+                 std::vector<SpecTask> loot;
+                 LoadType handed = 0.0;
+                 std::size_t i = 0;
+                 while (i < st.tasks.size() && handed < appetite) {
+                   SpecTask const& candidate = st.tasks[i];
+                   // Never hand out a task that would drop the victim
+                   // below the average, and stop once the thief's
+                   // appetite would be overshot (unless nothing was
+                   // handed yet and the task still fits the surplus).
+                   if (st.load - handed - candidate.load <
+                       shared->l_ave) {
+                     break;
+                   }
+                   if (handed + candidate.load > appetite &&
+                       !loot.empty()) {
+                     break;
+                   }
+                   loot.push_back(candidate);
+                   handed += candidate.load;
+                   ++i;
+                 }
+                 if (loot.empty()) {
+                   return;
+                 }
+                 st.tasks.erase(st.tasks.begin(),
+                                st.tasks.begin() +
+                                    static_cast<std::ptrdiff_t>(loot.size()));
+                 st.load -= handed;
+                 std::size_t const bytes = loot.size() * sizeof(SpecTask);
+                 v.send(thief, bytes,
+                        [shared, loot = std::move(loot),
+                         handed](rt::RankContext& back) {
+                          auto& me = shared->states[static_cast<std::size_t>(
+                              back.rank())];
+                          me.tasks.insert(me.tasks.end(), loot.begin(),
+                                          loot.end());
+                          sort_by_load(me.tasks);
+                          me.load += handed;
+                        });
+               });
+    });
+    rt.run_until_quiescent();
+  }
+
+  for (std::size_t r = 0; r < shared->states.size(); ++r) {
+    for (SpecTask const& t : shared->states[r].tasks) {
+      if (t.origin != static_cast<RankId>(r)) {
+        result.migrations.push_back(
+            Migration{t.id, t.origin, static_cast<RankId>(r), t.load});
+      }
+    }
+  }
+  result.new_rank_loads = project_loads(input, result.migrations);
+  result.achieved_imbalance = imbalance(result.new_rank_loads);
+
+  auto const stats_after = rt.stats();
+  result.cost.lb_messages = stats_after.messages - stats_before.messages;
+  result.cost.lb_bytes = stats_after.bytes - stats_before.bytes;
+  result.cost.migration_count = result.migrations.size();
+  for (Migration const& m : result.migrations) {
+    result.cost.migrated_load += m.load;
+  }
+  return result;
+}
+
+} // namespace tlb::lb

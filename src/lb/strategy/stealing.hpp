@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file stealing.hpp
+/// StealingLB: pull-based randomized work redistribution, the
+/// distributed-memory work-stealing baseline of the paper's related work
+/// (Dinan et al. [21], Lifflander et al. [22]). Underloaded ranks send
+/// steal requests to uniformly random victims over a fixed number of
+/// rounds; a victim above the average surrenders tasks down to the
+/// average (lightest-first, so the thief rarely overshoots). Pull-based
+/// transfer is the dual of the gossip scheme's push-based placement: no
+/// global information is gathered at all, trading placement quality for
+/// simplicity.
+
+#include "lb/strategy/strategy.hpp"
+
+namespace tlb::lb {
+
+class StealingStrategy final : public Strategy {
+public:
+  /// \param rounds Steal rounds; each round every still-underloaded rank
+  ///        issues one random request.
+  explicit StealingStrategy(int rounds = 16) : rounds_{rounds} {}
+
+  [[nodiscard]] std::string_view name() const override { return "stealing"; }
+
+  [[nodiscard]] StrategyResult balance(rt::Runtime& rt,
+                                       StrategyInput const& input,
+                                       LbParams const& params) override;
+
+private:
+  int rounds_;
+};
+
+} // namespace tlb::lb

@@ -1,0 +1,82 @@
+#include "lb/strategy/strategy.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "lb/strategy/baselines.hpp"
+#include "lb/strategy/diffusion.hpp"
+#include "lb/strategy/gossip_strategy.hpp"
+#include "lb/strategy/greedy.hpp"
+#include "lb/strategy/hier.hpp"
+#include "lb/strategy/stealing.hpp"
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+std::vector<LoadType> StrategyInput::rank_loads() const {
+  std::vector<LoadType> loads(tasks.size(), 0.0);
+  for (std::size_t r = 0; r < tasks.size(); ++r) {
+    for (TaskEntry const& t : tasks[r]) {
+      loads[r] += t.load;
+    }
+  }
+  return loads;
+}
+
+std::size_t StrategyInput::total_tasks() const {
+  std::size_t n = 0;
+  for (auto const& rank_tasks : tasks) {
+    n += rank_tasks.size();
+  }
+  return n;
+}
+
+std::vector<LoadType>
+project_loads(StrategyInput const& input,
+              std::vector<Migration> const& migrations) {
+  auto loads = input.rank_loads();
+  for (Migration const& m : migrations) {
+    TLB_EXPECTS(m.from >= 0 &&
+                static_cast<std::size_t>(m.from) < loads.size());
+    TLB_EXPECTS(m.to >= 0 && static_cast<std::size_t>(m.to) < loads.size());
+    loads[static_cast<std::size_t>(m.from)] -= m.load;
+    loads[static_cast<std::size_t>(m.to)] += m.load;
+  }
+  return loads;
+}
+
+std::unique_ptr<Strategy> make_strategy(std::string_view name) {
+  if (name == "tempered") {
+    return std::make_unique<GossipStrategy>(GossipStrategy::Flavor::tempered);
+  }
+  if (name == "grapevine") {
+    return std::make_unique<GossipStrategy>(
+        GossipStrategy::Flavor::grapevine);
+  }
+  if (name == "greedy") {
+    return std::make_unique<GreedyStrategy>();
+  }
+  if (name == "hier") {
+    return std::make_unique<HierStrategy>();
+  }
+  if (name == "stealing") {
+    return std::make_unique<StealingStrategy>();
+  }
+  if (name == "diffusion") {
+    return std::make_unique<DiffusionStrategy>();
+  }
+  if (name == "rotate") {
+    return std::make_unique<RotateStrategy>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomStrategy>();
+  }
+  throw std::invalid_argument("unknown strategy '" + std::string{name} + "'");
+}
+
+std::vector<std::string_view> strategy_names() {
+  return {"tempered", "grapevine", "greedy",  "hier",
+          "diffusion", "stealing", "rotate",   "random"};
+}
+
+} // namespace tlb::lb

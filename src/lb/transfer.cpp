@@ -1,0 +1,65 @@
+#include "lb/transfer.hpp"
+
+#include <optional>
+
+#include "lb/cmf.hpp"
+#include "lb/criterion.hpp"
+#include "lb/order.hpp"
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+TransferResult run_transfer(LbParams const& params, RankId self,
+                            std::vector<TaskEntry> const& tasks, LoadType l_p,
+                            LoadType l_ave, Knowledge& knowledge, Rng& rng) {
+  TransferResult result;
+  result.final_load = l_p;
+
+  // Algorithm 2 line 3: pick the traversal order O^p.
+  std::vector<TaskEntry> const order =
+      order_tasks(params.order, tasks, l_ave, l_p);
+
+  // Line 5: the original algorithm builds the CMF exactly once.
+  std::optional<Cmf> cmf;
+  if (params.refresh == CmfRefresh::build_once) {
+    cmf.emplace(params.cmf, knowledge.entries(), l_ave, self);
+  }
+
+  // Line 6: propose transfers while overloaded and candidates remain.
+  std::size_t n = 0;
+  while (result.final_load > params.threshold * l_ave && n < order.size()) {
+    TaskEntry const& candidate = order[n];
+    ++n;
+
+    // Line 7: TemperedLB rebuilds the CMF for every candidate so
+    // speculative load updates shift sampling away from filling ranks.
+    if (params.refresh == CmfRefresh::recompute) {
+      cmf.emplace(params.cmf, knowledge.entries(), l_ave, self);
+    }
+    if (cmf->empty()) {
+      ++result.no_target;
+      continue;
+    }
+
+    // Lines 9-10: sample a recipient and read its last-known load.
+    RankId const target = cmf->sample(rng);
+    LoadType const l_x = knowledge.load_of(target);
+
+    // Line 11: the acceptance criterion (original vs relaxed).
+    if (evaluate_criterion(params.criterion, l_x, candidate.load, l_ave,
+                           result.final_load)) {
+      // Lines 12-16: commit the speculative transfer.
+      knowledge.add_load(target, candidate.load);
+      result.final_load -= candidate.load;
+      result.migrations.push_back(
+          Migration{candidate.id, self, target, candidate.load});
+      ++result.accepted;
+    } else {
+      ++result.rejected;
+    }
+  }
+
+  return result;
+}
+
+} // namespace tlb::lb

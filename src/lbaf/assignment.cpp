@@ -1,0 +1,126 @@
+#include "lbaf/assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tlb::lbaf {
+
+Assignment::Assignment(Workload const& workload)
+    : rank_loads_(static_cast<std::size_t>(workload.num_ranks), 0.0),
+      rank_tasks_(static_cast<std::size_t>(workload.num_ranks)) {
+  TLB_EXPECTS(workload.tasks.size() == workload.initial_rank.size());
+  task_rank_.reserve(workload.tasks.size());
+  task_load_.reserve(workload.tasks.size());
+  for (std::size_t i = 0; i < workload.tasks.size(); ++i) {
+    TLB_EXPECTS(workload.tasks[i].id == static_cast<TaskId>(i));
+    RankId const r = workload.initial_rank[i];
+    TLB_EXPECTS(r >= 0 && r < workload.num_ranks);
+    task_rank_.push_back(r);
+    task_load_.push_back(workload.tasks[i].load);
+    rank_loads_[static_cast<std::size_t>(r)] += workload.tasks[i].load;
+    rank_tasks_[static_cast<std::size_t>(r)].push_back(
+        static_cast<TaskId>(i));
+    total_load_ += workload.tasks[i].load;
+  }
+}
+
+RankId Assignment::rank_of(TaskId task) const {
+  TLB_EXPECTS(task >= 0 && static_cast<std::size_t>(task) < task_rank_.size());
+  return task_rank_[static_cast<std::size_t>(task)];
+}
+
+LoadType Assignment::load_of_task(TaskId task) const {
+  TLB_EXPECTS(task >= 0 && static_cast<std::size_t>(task) < task_load_.size());
+  return task_load_[static_cast<std::size_t>(task)];
+}
+
+LoadType Assignment::load_of_rank(RankId rank) const {
+  TLB_EXPECTS(rank >= 0 &&
+              static_cast<std::size_t>(rank) < rank_loads_.size());
+  return rank_loads_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<lb::TaskEntry> Assignment::tasks_of(RankId rank) const {
+  TLB_EXPECTS(rank >= 0 &&
+              static_cast<std::size_t>(rank) < rank_tasks_.size());
+  std::vector<lb::TaskEntry> out;
+  auto const& ids = rank_tasks_[static_cast<std::size_t>(rank)];
+  out.reserve(ids.size());
+  for (TaskId const id : ids) {
+    out.push_back({id, task_load_[static_cast<std::size_t>(id)]});
+  }
+  return out;
+}
+
+void Assignment::apply(Migration const& m) {
+  TLB_EXPECTS(m.task >= 0 &&
+              static_cast<std::size_t>(m.task) < task_rank_.size());
+  TLB_EXPECTS(m.to >= 0 &&
+              static_cast<std::size_t>(m.to) < rank_loads_.size());
+  auto const t = static_cast<std::size_t>(m.task);
+  TLB_EXPECTS(task_rank_[t] == m.from);
+  if (m.from == m.to) {
+    return;
+  }
+  auto& from_tasks = rank_tasks_[static_cast<std::size_t>(m.from)];
+  auto const it = std::find(from_tasks.begin(), from_tasks.end(), m.task);
+  TLB_ASSERT(it != from_tasks.end());
+  from_tasks.erase(it);
+  rank_tasks_[static_cast<std::size_t>(m.to)].push_back(m.task);
+  rank_loads_[static_cast<std::size_t>(m.from)] -= task_load_[t];
+  rank_loads_[static_cast<std::size_t>(m.to)] += task_load_[t];
+  task_rank_[t] = m.to;
+}
+
+void Assignment::apply(std::span<Migration const> migrations) {
+  for (Migration const& m : migrations) {
+    apply(m);
+  }
+}
+
+LoadType Assignment::average_load() const {
+  return rank_loads_.empty()
+             ? 0.0
+             : total_load_ / static_cast<double>(rank_loads_.size());
+}
+
+LoadType Assignment::max_load() const {
+  LoadType m = 0.0;
+  for (LoadType const l : rank_loads_) {
+    m = std::max(m, l);
+  }
+  return m;
+}
+
+double Assignment::imbalance() const { return tlb::imbalance(rank_loads_); }
+
+LoadSummary Assignment::summary() const { return summarize(rank_loads_); }
+
+bool Assignment::validate() const {
+  std::vector<LoadType> sums(rank_loads_.size(), 0.0);
+  std::size_t mapped = 0;
+  for (std::size_t r = 0; r < rank_tasks_.size(); ++r) {
+    for (TaskId const id : rank_tasks_[r]) {
+      if (task_rank_[static_cast<std::size_t>(id)] !=
+          static_cast<RankId>(r)) {
+        return false;
+      }
+      sums[r] += task_load_[static_cast<std::size_t>(id)];
+      ++mapped;
+    }
+  }
+  if (mapped != task_rank_.size()) {
+    return false;
+  }
+  for (std::size_t r = 0; r < sums.size(); ++r) {
+    if (std::abs(sums[r] - rank_loads_[r]) >
+        1e-9 * std::max(1.0, std::abs(rank_loads_[r]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace tlb::lbaf

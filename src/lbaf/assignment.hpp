@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file assignment.hpp
+/// The task-to-rank mapping the analysis framework iterates on. Maintains
+/// per-rank task lists and cached rank loads; validates conservation of
+/// total load across migrations.
+
+#include <span>
+#include <vector>
+
+#include "lb/lb_types.hpp"
+#include "lbaf/workload.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+
+namespace tlb::lbaf {
+
+/// A mutable assignment of tasks to ranks.
+class Assignment {
+public:
+  explicit Assignment(Workload const& workload);
+
+  [[nodiscard]] RankId num_ranks() const {
+    return static_cast<RankId>(rank_loads_.size());
+  }
+  [[nodiscard]] std::size_t num_tasks() const { return task_rank_.size(); }
+
+  [[nodiscard]] RankId rank_of(TaskId task) const;
+  [[nodiscard]] LoadType load_of_task(TaskId task) const;
+  [[nodiscard]] LoadType load_of_rank(RankId rank) const;
+  [[nodiscard]] std::span<LoadType const> rank_loads() const {
+    return rank_loads_;
+  }
+
+  /// Tasks currently mapped to `rank`, as TaskEntry {id, load}.
+  [[nodiscard]] std::vector<lb::TaskEntry> tasks_of(RankId rank) const;
+
+  /// Move one task; the migration's `from` must match the current mapping.
+  void apply(Migration const& m);
+  /// Apply a batch of migrations.
+  void apply(std::span<Migration const> migrations);
+
+  [[nodiscard]] LoadType average_load() const;
+  [[nodiscard]] LoadType max_load() const;
+  /// The paper's metric I = max/ave − 1 over rank loads (Eqn. 1).
+  [[nodiscard]] double imbalance() const;
+  [[nodiscard]] LoadSummary summary() const;
+
+  /// Total load across all ranks; invariant under migration.
+  [[nodiscard]] LoadType total_load() const { return total_load_; }
+
+  /// Check internal consistency (rank loads match task sums); O(tasks).
+  [[nodiscard]] bool validate() const;
+
+private:
+  std::vector<RankId> task_rank_;           // task id -> rank
+  std::vector<LoadType> task_load_;         // task id -> load
+  std::vector<LoadType> rank_loads_;        // rank -> cached load sum
+  std::vector<std::vector<TaskId>> rank_tasks_; // rank -> task ids
+  LoadType total_load_ = 0.0;
+};
+
+} // namespace tlb::lbaf

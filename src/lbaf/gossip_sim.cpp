@@ -1,0 +1,120 @@
+#include "lbaf/gossip_sim.hpp"
+
+#include <deque>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace tlb::lbaf {
+
+namespace {
+
+/// One in-flight gossip message: the sender's knowledge snapshot plus the
+/// round it will be processed at. The snapshot is shared across the f
+/// messages of one forwarding event (they serialize the same bytes), which
+/// bounds peak memory at large P — the pitfall the paper's footnote 2
+/// flags for O(P) underloaded lists.
+struct GossipMessage {
+  RankId dest = invalid_rank;
+  std::shared_ptr<lb::Knowledge const> payload;
+  int round = 0;
+};
+
+/// Choose a peer uniformly from all ranks excluding `self` and, when
+/// possible, excluding ranks already in `exclude` (Algorithm 1 line 20:
+/// R = P \ S^p). When the exclusion set covers everyone we fall back to
+/// any rank != self so the message count stays deterministic.
+RankId pick_peer(RankId num_ranks, RankId self, lb::Knowledge const& exclude,
+                 Rng& rng) {
+  TLB_EXPECTS(num_ranks > 1);
+  // Rejection-sample a bounded number of times; the exclusion is an
+  // optimization, not a correctness requirement.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto const r = static_cast<RankId>(
+        rng.uniform_below(static_cast<std::uint64_t>(num_ranks)));
+    if (r != self && !exclude.contains(r)) {
+      return r;
+    }
+  }
+  // Dense exclusion set: fall back to uniform over P \ {self}.
+  auto const r = static_cast<RankId>(
+      rng.uniform_below(static_cast<std::uint64_t>(num_ranks - 1)));
+  return r >= self ? r + 1 : r;
+}
+
+} // namespace
+
+std::vector<lb::Knowledge>
+run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
+           int rounds, Rng& rng, GossipStats* stats,
+           std::size_t max_knowledge) {
+  auto const num_ranks = static_cast<RankId>(rank_loads.size());
+  TLB_EXPECTS(num_ranks > 0);
+  TLB_EXPECTS(fanout > 0);
+  TLB_EXPECTS(rounds >= 1);
+
+  std::vector<lb::Knowledge> knowledge(rank_loads.size());
+  // Bitmask of rounds each rank has already forwarded at (k <= 64).
+  std::vector<std::uint64_t> forwarded(rank_loads.size(), 0);
+  GossipStats local_stats;
+
+  if (num_ranks == 1) {
+    if (stats != nullptr) {
+      *stats = local_stats;
+    }
+    return knowledge;
+  }
+
+  std::deque<GossipMessage> queue;
+
+  auto send_fanout = [&](RankId from, int next_round) {
+    auto const snapshot = std::make_shared<lb::Knowledge const>(
+        knowledge[static_cast<std::size_t>(from)]);
+    for (int i = 0; i < fanout; ++i) {
+      RankId const dest =
+          pick_peer(num_ranks, from, knowledge[static_cast<std::size_t>(from)],
+                    rng);
+      queue.push_back(GossipMessage{dest, snapshot, next_round});
+    }
+  };
+
+  // Algorithm 1, INFORM: underloaded ranks seed the epidemic.
+  for (RankId p = 0; p < num_ranks; ++p) {
+    auto const pi = static_cast<std::size_t>(p);
+    if (rank_loads[pi] < l_ave) {
+      knowledge[pi].insert(p, rank_loads[pi]);
+      forwarded[pi] |= 1ull;
+      send_fanout(p, 1);
+    }
+  }
+
+  // Algorithm 1, INFORMHANDLER: FIFO drain emulates async delivery.
+  while (!queue.empty()) {
+    GossipMessage msg = std::move(queue.front());
+    queue.pop_front();
+    auto const pi = static_cast<std::size_t>(msg.dest);
+
+    ++local_stats.messages;
+    local_stats.bytes += msg.payload->wire_bytes();
+    local_stats.max_round_seen = std::max(
+        local_stats.max_round_seen, static_cast<std::size_t>(msg.round));
+
+    knowledge[pi].merge(*msg.payload);
+    knowledge[pi].truncate_random(max_knowledge, rng);
+
+    if (msg.round < rounds) {
+      std::uint64_t const bit = 1ull << msg.round;
+      if ((forwarded[pi] & bit) == 0) {
+        forwarded[pi] |= bit;
+        send_fanout(msg.dest, msg.round + 1);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return knowledge;
+}
+
+} // namespace tlb::lbaf

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file gossip_sim.hpp
+/// Sequential emulation of the inform/gossip stage (Algorithm 1). Messages
+/// are processed from a FIFO queue, which reproduces the unsynchronized,
+/// causally-ordered delivery of the asynchronous implementation without
+/// threads.
+///
+/// Forwarding is gated per (rank, round): a rank forwards at most once for
+/// each round index it observes. The paper's pseudocode re-forwards on
+/// every received message, which is exponential in k; the production vt
+/// implementation (and the LBAF tool) gate per round, bounding traffic at
+/// O(P * f * k) messages. We follow the implementations.
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/knowledge.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace tlb::lbaf {
+
+/// Traffic statistics from one gossip epoch.
+struct GossipStats {
+  std::size_t messages = 0;       ///< total gossip messages delivered
+  std::size_t bytes = 0;          ///< total serialized knowledge bytes
+  std::size_t max_round_seen = 0; ///< deepest round that fired
+};
+
+/// Run one inform epoch.
+/// \param rank_loads  Current load of every rank (index == rank id).
+/// \param l_ave       Global average load (constant for the epoch).
+/// \param fanout      f, messages sent per forwarding event.
+/// \param rounds      k, maximum round index.
+/// \param rng         Peer-selection stream (deterministic).
+/// \param[out] stats  Optional traffic statistics.
+/// \param max_knowledge  Cap on per-rank knowledge entries (lowest-load
+///                    entries kept); 0 = unlimited. Bounds message sizes
+///                    at O(cap) instead of O(P) (paper footnote 2).
+/// \return Per-rank knowledge (LOAD^p()) after quiescence.
+[[nodiscard]] std::vector<lb::Knowledge>
+run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
+           int rounds, Rng& rng, GossipStats* stats = nullptr,
+           std::size_t max_knowledge = 0);
+
+} // namespace tlb::lbaf

@@ -1,0 +1,56 @@
+#include "lbaf/greedy_ref.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "lb/lb_types.hpp"
+#include "support/assert.hpp"
+
+namespace tlb::lbaf {
+
+std::vector<Migration> greedy_rebalance(Assignment const& assignment) {
+  auto const num_ranks = assignment.num_ranks();
+  TLB_EXPECTS(num_ranks > 0);
+
+  // Gather every task (global knowledge — this is the centralized scheme).
+  std::vector<lb::TaskEntry> tasks;
+  tasks.reserve(assignment.num_tasks());
+  for (std::size_t i = 0; i < assignment.num_tasks(); ++i) {
+    auto const id = static_cast<TaskId>(i);
+    tasks.push_back({id, assignment.load_of_task(id)});
+  }
+  std::sort(tasks.begin(), tasks.end(),
+            [](lb::TaskEntry const& a, lb::TaskEntry const& b) {
+              if (a.load != b.load) {
+                return a.load > b.load;
+              }
+              return a.id < b.id;
+            });
+
+  // Min-heap of (rank load, rank). Ties by rank id for determinism.
+  using HeapItem = std::pair<LoadType, RankId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (RankId r = 0; r < num_ranks; ++r) {
+    heap.emplace(0.0, r);
+  }
+
+  std::vector<Migration> migrations;
+  for (lb::TaskEntry const& t : tasks) {
+    auto [load, rank] = heap.top();
+    heap.pop();
+    heap.emplace(load + t.load, rank);
+    RankId const current = assignment.rank_of(t.id);
+    if (current != rank) {
+      migrations.push_back(Migration{t.id, current, rank, t.load});
+    }
+  }
+  return migrations;
+}
+
+double greedy_imbalance(Assignment assignment) {
+  auto const migrations = greedy_rebalance(assignment);
+  assignment.apply(migrations);
+  return assignment.imbalance();
+}
+
+} // namespace tlb::lbaf

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file greedy_ref.hpp
+/// Centralized greedy reference balancer (the quality yardstick the paper
+/// calls GreedyLB): longest-processing-time-first list scheduling with
+/// global knowledge. LPT is a 4/3-approximation of the optimal makespan, so
+/// its imbalance bounds what any distributed strategy can hope to reach.
+
+#include <vector>
+
+#include "lbaf/assignment.hpp"
+#include "support/types.hpp"
+
+namespace tlb::lbaf {
+
+/// Compute migrations that re-map every task using LPT list scheduling:
+/// tasks sorted by descending load are placed on the currently
+/// least-loaded rank. Returns migrations relative to the current state of
+/// `assignment` (tasks already on their target rank produce no entry).
+[[nodiscard]] std::vector<Migration>
+greedy_rebalance(Assignment const& assignment);
+
+/// Convenience: apply greedy_rebalance and return the resulting imbalance.
+[[nodiscard]] double greedy_imbalance(Assignment assignment);
+
+} // namespace tlb::lbaf

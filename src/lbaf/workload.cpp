@@ -1,0 +1,131 @@
+#include "lbaf/workload.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tlb::lbaf {
+
+LoadType Workload::total_load() const {
+  LoadType sum = 0.0;
+  for (auto const& t : tasks) {
+    sum += t.load;
+  }
+  return sum;
+}
+
+LoadType draw_load(LoadDistribution dist, double scale, Rng& rng) {
+  TLB_EXPECTS(scale > 0.0);
+  switch (dist) {
+  case LoadDistribution::constant:
+    return scale;
+  case LoadDistribution::uniform:
+    return rng.uniform(0.0, 2.0 * scale);
+  case LoadDistribution::gamma:
+    return rng.gamma(2.0, scale / 2.0);
+  case LoadDistribution::lognormal: {
+    // mean of LogNormal(mu, sigma) = exp(mu + sigma^2/2); pick sigma=0.75
+    // for a visible tail and solve for mu.
+    constexpr double sigma = 0.75;
+    double const mu = std::log(scale) - 0.5 * sigma * sigma;
+    return rng.lognormal(mu, sigma);
+  }
+  }
+  TLB_ASSERT(false);
+  return 0.0;
+}
+
+namespace {
+
+Workload make_base(RankId num_ranks, std::size_t num_tasks) {
+  TLB_EXPECTS(num_ranks > 0);
+  Workload w;
+  w.num_ranks = num_ranks;
+  w.tasks.reserve(num_tasks);
+  w.initial_rank.reserve(num_tasks);
+  return w;
+}
+
+} // namespace
+
+Workload make_clustered(RankId num_ranks, RankId loaded_ranks,
+                        std::size_t num_tasks, LoadDistribution dist,
+                        double scale, std::uint64_t seed) {
+  TLB_EXPECTS(loaded_ranks > 0 && loaded_ranks <= num_ranks);
+  Workload w = make_base(num_ranks, num_tasks);
+  Rng rng{seed};
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    w.tasks.push_back(
+        {static_cast<TaskId>(i), draw_load(dist, scale, rng)});
+    w.initial_rank.push_back(
+        static_cast<RankId>(rng.uniform_below(
+            static_cast<std::uint64_t>(loaded_ranks))));
+  }
+  return w;
+}
+
+Workload make_scattered(RankId num_ranks, std::size_t num_tasks,
+                        LoadDistribution dist, double scale,
+                        std::uint64_t seed) {
+  Workload w = make_base(num_ranks, num_tasks);
+  Rng rng{seed};
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    w.tasks.push_back(
+        {static_cast<TaskId>(i), draw_load(dist, scale, rng)});
+    w.initial_rank.push_back(
+        static_cast<RankId>(rng.uniform_below(
+            static_cast<std::uint64_t>(num_ranks))));
+  }
+  return w;
+}
+
+Workload make_bimodal(RankId num_ranks, RankId loaded_ranks,
+                      std::size_t num_tasks, BimodalSpec const& spec,
+                      std::uint64_t seed) {
+  TLB_EXPECTS(loaded_ranks > 0 && loaded_ranks <= num_ranks);
+  TLB_EXPECTS(spec.heavy_fraction >= 0.0 && spec.heavy_fraction <= 1.0);
+  TLB_EXPECTS(spec.light_lo <= spec.light_hi);
+  TLB_EXPECTS(spec.heavy_lo <= spec.heavy_hi);
+  Workload w = make_base(num_ranks, num_tasks);
+  Rng rng{seed};
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    bool const heavy = rng.uniform() < spec.heavy_fraction;
+    double const load = heavy ? rng.uniform(spec.heavy_lo, spec.heavy_hi)
+                              : rng.uniform(spec.light_lo, spec.light_hi);
+    w.tasks.push_back({static_cast<TaskId>(i), load});
+    w.initial_rank.push_back(
+        static_cast<RankId>(rng.uniform_below(
+            static_cast<std::uint64_t>(loaded_ranks))));
+  }
+  return w;
+}
+
+Workload make_gradient(RankId num_ranks, std::size_t num_tasks, double slope,
+                       LoadDistribution dist, double scale,
+                       std::uint64_t seed) {
+  TLB_EXPECTS(slope >= 0.0);
+  Workload w = make_base(num_ranks, num_tasks);
+  Rng rng{seed};
+  // Rank weights 1 + slope*r/(P-1); sample ranks proportionally.
+  std::vector<double> cdf(static_cast<std::size_t>(num_ranks));
+  double acc = 0.0;
+  for (RankId r = 0; r < num_ranks; ++r) {
+    double const frac =
+        num_ranks > 1
+            ? static_cast<double>(r) / static_cast<double>(num_ranks - 1)
+            : 0.0;
+    acc += 1.0 + slope * frac;
+    cdf[static_cast<std::size_t>(r)] = acc;
+  }
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    double const u = rng.uniform() * acc;
+    auto const it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    auto const r = static_cast<RankId>(it - cdf.begin());
+    w.tasks.push_back(
+        {static_cast<TaskId>(i), draw_load(dist, scale, rng)});
+    w.initial_rank.push_back(std::min<RankId>(r, num_ranks - 1));
+  }
+  return w;
+}
+
+} // namespace tlb::lbaf

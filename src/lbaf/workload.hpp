@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file workload.hpp
+/// Synthetic workload generators for the analysis framework. The paper's
+/// §V-B study distributes 10^4 tasks across 16 of 4096 ranks — the
+/// `clustered` generator reproduces that; the others provide broader
+/// coverage for tests and the strategy-comparison example.
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/lb_types.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace tlb::lbaf {
+
+/// A generated workload: for every task, its load and initial rank.
+struct Workload {
+  std::vector<lb::TaskEntry> tasks;   // task id i is tasks[i]
+  std::vector<RankId> initial_rank;   // parallel to tasks
+  RankId num_ranks = 0;
+
+  [[nodiscard]] LoadType total_load() const;
+};
+
+/// Task-load distribution for the generators.
+enum class LoadDistribution : std::uint8_t {
+  constant,   ///< every task has load `scale`
+  uniform,    ///< Uniform(0, 2*scale) — mean `scale`
+  gamma,      ///< Gamma(shape=2, scale/2) — mean `scale`, right-skewed
+  lognormal,  ///< Lognormal with mean ≈ `scale`, heavy right tail
+};
+
+/// Draw one task load from the given distribution with mean `scale`.
+[[nodiscard]] LoadType draw_load(LoadDistribution dist, double scale,
+                                 Rng& rng);
+
+/// The §V-B configuration: `num_tasks` tasks placed uniformly at random on
+/// the first `loaded_ranks` ranks; the remaining ranks start empty.
+[[nodiscard]] Workload make_clustered(RankId num_ranks, RankId loaded_ranks,
+                                      std::size_t num_tasks,
+                                      LoadDistribution dist, double scale,
+                                      std::uint64_t seed);
+
+/// Tasks scattered uniformly at random over all ranks (mild imbalance).
+[[nodiscard]] Workload make_scattered(RankId num_ranks, std::size_t num_tasks,
+                                      LoadDistribution dist, double scale,
+                                      std::uint64_t seed);
+
+/// Parameters for the bimodal §V-B-style workload: a light population and
+/// a heavy population whose loads straddle the expected average rank load.
+/// Heavy tasks with load > l_ave are *individually immovable* under the
+/// original criterion (no recipient can take them without crossing l_ave)
+/// but movable under the relaxed criterion — the mechanism behind the
+/// paper's 187-vs-0.6 stall contrast.
+struct BimodalSpec {
+  double heavy_fraction = 0.3;
+  double light_lo = 0.2;
+  double light_hi = 0.6;
+  double heavy_lo = 3.2;
+  double heavy_hi = 5.2;
+};
+
+/// The §V-B table workload: `num_tasks` bimodal tasks on the first
+/// `loaded_ranks` ranks of `num_ranks` total.
+[[nodiscard]] Workload make_bimodal(RankId num_ranks, RankId loaded_ranks,
+                                    std::size_t num_tasks,
+                                    BimodalSpec const& spec,
+                                    std::uint64_t seed);
+
+/// A smooth spatial gradient: rank r receives ~(1 + slope*r/P) times the
+/// average task count. Models a structured (e.g. AMR-like) imbalance.
+[[nodiscard]] Workload make_gradient(RankId num_ranks, std::size_t num_tasks,
+                                     double slope, LoadDistribution dist,
+                                     double scale, std::uint64_t seed);
+
+} // namespace tlb::lbaf

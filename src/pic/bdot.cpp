@@ -1,0 +1,42 @@
+#include "pic/bdot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tlb::pic {
+
+int BDotScenario::count(int step) const {
+  TLB_EXPECTS(step >= 0);
+  double const rate =
+      config_.base_rate + config_.growth * static_cast<double>(step);
+  return std::max(0, static_cast<int>(rate));
+}
+
+std::pair<double, double> BDotScenario::center(int step, double lx,
+                                               double ly) const {
+  TLB_EXPECTS(config_.total_steps > 0);
+  double const phase = 2.0 * 3.14159265358979323846 * config_.orbit_periods *
+                       static_cast<double>(step) /
+                       static_cast<double>(config_.total_steps);
+  double const cx = 0.5 * lx + config_.orbit_frac * lx * std::cos(phase);
+  double const cy = 0.5 * ly + config_.orbit_frac * ly * std::sin(phase);
+  return {std::clamp(cx, 0.0, std::nextafter(lx, 0.0)),
+          std::clamp(cy, 0.0, std::nextafter(ly, 0.0))};
+}
+
+BDotScenario::Injected BDotScenario::draw(int step, double lx, double ly,
+                                          Rng& rng) const {
+  auto const [cx, cy] = center(step, lx, ly);
+  double const sigma = config_.sigma_frac * std::min(lx, ly);
+  double x = cx + sigma * rng.normal();
+  double y = cy + sigma * rng.normal();
+  x = std::clamp(x, 0.0, std::nextafter(lx, 0.0));
+  y = std::clamp(y, 0.0, std::nextafter(ly, 0.0));
+  double const speed = rng.uniform(config_.speed_lo, config_.speed_hi);
+  double const angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+  return Injected{x, y, speed * std::cos(angle), speed * std::sin(angle)};
+}
+
+} // namespace tlb::pic

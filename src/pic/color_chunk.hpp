@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file color_chunk.hpp
+/// The migratable unit of EMPIRE's overdecomposition: a "color" — one
+/// sub-block of a rank's mesh together with the particles currently inside
+/// it (§VI-A). Colors are the tasks the load balancer moves; their wire
+/// size is the sub-mesh plus the particle payload, which is what makes
+/// migrating particle-heavy colors expensive.
+
+#include "pic/mesh.hpp"
+#include "pic/particles.hpp"
+#include "runtime/object_store.hpp"
+
+namespace tlb::pic {
+
+class ColorChunk final : public rt::Migratable {
+public:
+  ColorChunk(ColorId id, int cells) : id_{id}, cells_{cells} {}
+
+  [[nodiscard]] ColorId id() const { return id_; }
+  [[nodiscard]] int cells() const { return cells_; }
+
+  [[nodiscard]] Particles& particles() { return particles_; }
+  [[nodiscard]] Particles const& particles() const { return particles_; }
+
+  /// Sub-mesh (8 bytes per cell of field data) plus particle payload.
+  [[nodiscard]] std::size_t wire_bytes() const override {
+    return static_cast<std::size_t>(cells_) * 8 + particles_.wire_bytes();
+  }
+
+private:
+  ColorId id_;
+  int cells_;
+  Particles particles_;
+};
+
+} // namespace tlb::pic

@@ -1,0 +1,58 @@
+#include "pic/field.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tlb::pic {
+
+FieldSolver::FieldSolver(int nx, int ny)
+    : nx_{nx}, ny_{ny},
+      u_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny), 0.0),
+      next_(u_.size(), 0.0), rhs_(u_.size(), 0.0) {
+  TLB_EXPECTS(nx >= 3 && ny >= 3);
+}
+
+std::size_t FieldSolver::idx(int cx, int cy) const {
+  TLB_EXPECTS(cx >= 0 && cx < nx_);
+  TLB_EXPECTS(cy >= 0 && cy < ny_);
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(nx_) +
+         static_cast<std::size_t>(cx);
+}
+
+void FieldSolver::set_rhs(int cx, int cy, double value) {
+  rhs_[idx(cx, cy)] = value;
+}
+
+double FieldSolver::value(int cx, int cy) const { return u_[idx(cx, cy)]; }
+
+double FieldSolver::sweep(int iters) {
+  TLB_EXPECTS(iters >= 1);
+  for (int it = 0; it < iters; ++it) {
+    for (int cy = 1; cy < ny_ - 1; ++cy) {
+      for (int cx = 1; cx < nx_ - 1; ++cx) {
+        auto const i = idx(cx, cy);
+        next_[i] = 0.25 * (u_[i - 1] + u_[i + 1] +
+                           u_[i - static_cast<std::size_t>(nx_)] +
+                           u_[i + static_cast<std::size_t>(nx_)] +
+                           rhs_[i]);
+      }
+    }
+    u_.swap(next_);
+  }
+  double residual = 0.0;
+  for (int cy = 1; cy < ny_ - 1; ++cy) {
+    for (int cx = 1; cx < nx_ - 1; ++cx) {
+      auto const i = idx(cx, cy);
+      double const r = 0.25 * (u_[i - 1] + u_[i + 1] +
+                               u_[i - static_cast<std::size_t>(nx_)] +
+                               u_[i + static_cast<std::size_t>(nx_)] +
+                               rhs_[i]) -
+                       u_[i];
+      residual += r * r;
+    }
+  }
+  return std::sqrt(residual);
+}
+
+} // namespace tlb::pic

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file field.hpp
+/// The electromagnetic field solve stand-in: the *balanced*, non-particle
+/// part of the timestep (paper's t_n). A real 5-point Jacobi smoother is
+/// provided so examples can exercise genuine FLOPs; the timing model uses
+/// a per-cell cost since the solve is uniform across ranks by construction
+/// (static SPMD mesh decomposition).
+
+#include <cstddef>
+#include <vector>
+
+namespace tlb::pic {
+
+/// In-place Jacobi relaxation of a Dirichlet Poisson problem on an
+/// nx x ny grid. Deliberately simple: this is the balanced FEM-solve
+/// surrogate, not a numerics showcase.
+class FieldSolver {
+public:
+  FieldSolver(int nx, int ny);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+
+  /// Set the right-hand side at a cell (e.g. charge deposited from
+  /// particles).
+  void set_rhs(int cx, int cy, double value);
+
+  /// Run `iters` Jacobi sweeps; returns the final L2 residual.
+  double sweep(int iters);
+
+  [[nodiscard]] double value(int cx, int cy) const;
+
+private:
+  [[nodiscard]] std::size_t idx(int cx, int cy) const;
+
+  int nx_;
+  int ny_;
+  std::vector<double> u_;
+  std::vector<double> next_;
+  std::vector<double> rhs_;
+};
+
+} // namespace tlb::pic

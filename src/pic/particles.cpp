@@ -1,0 +1,78 @@
+#include "pic/particles.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tlb::pic {
+
+void Particles::reserve(std::size_t n) {
+  x_.reserve(n);
+  y_.reserve(n);
+  vx_.reserve(n);
+  vy_.reserve(n);
+}
+
+void Particles::add(double x, double y, double vx, double vy) {
+  x_.push_back(x);
+  y_.push_back(y);
+  vx_.push_back(vx);
+  vy_.push_back(vy);
+}
+
+namespace {
+
+/// Reflect `p` into [0, limit), flipping `v`'s sign on each bounce.
+void reflect(double& p, double& v, double limit) {
+  while (p < 0.0 || p >= limit) {
+    if (p < 0.0) {
+      p = -p;
+      v = -v;
+    } else {
+      p = 2.0 * limit - p;
+      v = -v;
+      // Guard against landing exactly on the boundary from above.
+      if (p >= limit) {
+        p = std::nextafter(limit, 0.0);
+      }
+    }
+  }
+}
+
+} // namespace
+
+void Particles::push(double dt, double lx, double ly) {
+  TLB_EXPECTS(lx > 0.0 && ly > 0.0);
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    x_[i] += vx_[i] * dt;
+    y_[i] += vy_[i] * dt;
+    reflect(x_[i], vx_[i], lx);
+    reflect(y_[i], vy_[i], ly);
+  }
+}
+
+void Particles::remove_swap(std::size_t i) {
+  TLB_EXPECTS(i < x_.size());
+  x_[i] = x_.back();
+  y_[i] = y_.back();
+  vx_[i] = vx_.back();
+  vy_[i] = vy_.back();
+  x_.pop_back();
+  y_.pop_back();
+  vx_.pop_back();
+  vy_.pop_back();
+}
+
+void Particles::take_from(Particles& from, std::size_t i) {
+  add(from.x(i), from.y(i), from.vx(i), from.vy(i));
+  from.remove_swap(i);
+}
+
+void Particles::clear() {
+  x_.clear();
+  y_.clear();
+  vx_.clear();
+  vy_.clear();
+}
+
+} // namespace tlb::pic

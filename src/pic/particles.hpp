@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file particles.hpp
+/// Structure-of-arrays particle container. Particles carry position and
+/// velocity; the push advances positions and reflects off the domain
+/// boundary. A particle's modeled serialized size (for migration-cost
+/// accounting) is four doubles.
+
+#include <cstddef>
+#include <vector>
+
+namespace tlb::pic {
+
+inline constexpr std::size_t particle_wire_bytes = 4 * sizeof(double);
+
+class Particles {
+public:
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+
+  void reserve(std::size_t n);
+  void add(double x, double y, double vx, double vy);
+
+  [[nodiscard]] double x(std::size_t i) const { return x_[i]; }
+  [[nodiscard]] double y(std::size_t i) const { return y_[i]; }
+  [[nodiscard]] double vx(std::size_t i) const { return vx_[i]; }
+  [[nodiscard]] double vy(std::size_t i) const { return vy_[i]; }
+
+  /// Advance every particle by dt, reflecting at the domain boundary
+  /// [0, lx) x [0, ly).
+  void push(double dt, double lx, double ly);
+
+  /// Remove particle i by swapping with the last (O(1), order-destroying).
+  void remove_swap(std::size_t i);
+
+  /// Move particle i of `from` into this container.
+  void take_from(Particles& from, std::size_t i);
+
+  void clear();
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return size() * particle_wire_bytes;
+  }
+
+private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> vx_;
+  std::vector<double> vy_;
+};
+
+} // namespace tlb::pic

@@ -1,0 +1,46 @@
+#include "pic/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "support/table.hpp"
+
+namespace tlb::pic {
+
+void write_trace_csv(std::ostream& os, RunResult const& result) {
+  Table table{{"step", "t_particle", "t_nonparticle", "t_lb", "t_step",
+               "max_rank_load", "min_rank_load", "avg_rank_load",
+               "max_task_load", "imbalance", "persistence_error",
+               "total_particles", "migrations", "exchanged",
+               "remote_exchanged"}};
+  for (auto const& m : result.steps) {
+    table.begin_row()
+        .add_cell(m.step)
+        .add_cell(m.t_particle, 6)
+        .add_cell(m.t_nonparticle, 6)
+        .add_cell(m.t_lb, 6)
+        .add_cell(m.t_step, 6)
+        .add_cell(m.max_rank_load, 6)
+        .add_cell(m.min_rank_load, 6)
+        .add_cell(m.avg_rank_load, 6)
+        .add_cell(m.max_task_load, 6)
+        .add_cell(m.imbalance, 6)
+        .add_cell(m.persistence_error, 6)
+        .add_cell(m.total_particles)
+        .add_cell(m.migrations)
+        .add_cell(m.exchanged)
+        .add_cell(m.remote_exchanged);
+  }
+  table.print_csv(os);
+}
+
+void write_trace_csv(std::string const& path, RunResult const& result) {
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  write_trace_csv(os, result);
+}
+
+} // namespace tlb::pic

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file trace.hpp
+/// CSV trace emission for PIC runs — the analogue of the instrumentation
+/// dumps vt produces for offline analysis with LBAF. One row per
+/// timestep with every StepMetrics field, suitable for plotting the
+/// paper's Fig. 4 panels with any external tool.
+
+#include <iosfwd>
+#include <string>
+
+#include "pic/app.hpp"
+
+namespace tlb::pic {
+
+/// Write the per-step metrics of a run as CSV (header + one row per step).
+void write_trace_csv(std::ostream& os, RunResult const& result);
+
+/// Convenience: write to a file path; throws std::runtime_error when the
+/// file cannot be opened.
+void write_trace_csv(std::string const& path, RunResult const& result);
+
+} // namespace tlb::pic

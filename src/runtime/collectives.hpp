@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file collectives.hpp
+/// Tree-based collectives implemented purely with active messages, so that
+/// their traffic shows up in the runtime's network statistics exactly as a
+/// distributed implementation's would. All collectives are driver-level
+/// operations: call them between protocol stages, not from inside handlers.
+///
+/// The reduction tree is the implicit binary heap layout (children of i are
+/// 2i+1 and 2i+2), giving ceil(log2 P) depth and 2(P-1) messages per
+/// allreduce (P-1 up, P-1 down).
+
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/assert.hpp"
+
+namespace tlb::rt {
+
+namespace detail {
+
+inline RankId tree_parent(RankId r) { return (r - 1) / 2; }
+inline RankId tree_child(RankId r, int which) { return 2 * r + 1 + which; }
+
+inline int tree_num_children(RankId r, RankId p) {
+  int n = 0;
+  for (int c = 0; c < 2; ++c) {
+    if (tree_child(r, c) < p) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+} // namespace detail
+
+/// Allreduce: combine every rank's contribution with `op` and deliver the
+/// global result to every rank. Returns the per-rank results (all equal).
+///
+/// \tparam T   Value type; copied into messages.
+/// \tparam Op  Binary associative combiner: T op(T const&, T const&).
+template <typename T, typename Op>
+std::vector<T> allreduce(Runtime& rt, std::vector<T> const& contributions,
+                         Op op, std::size_t bytes_per_item = sizeof(T)) {
+  auto const p = rt.num_ranks();
+  TLB_EXPECTS(static_cast<RankId>(contributions.size()) == p);
+
+  struct NodeState {
+    T value{};
+    int pending = 0;
+  };
+  // Shared per-rank state: each slot is only touched by handlers running
+  // on its own rank, which the runtime serializes.
+  std::vector<NodeState> state(static_cast<std::size_t>(p));
+  std::vector<T> results(static_cast<std::size_t>(p));
+
+  // The up-phase send, defined recursively through handler chaining.
+  struct Proto {
+    std::vector<NodeState>* state;
+    std::vector<T>* results;
+    Op op;
+    std::size_t bytes;
+    RankId p;
+
+    void contribute(RankContext& ctx, T const& incoming) const {
+      auto& node = (*state)[static_cast<std::size_t>(ctx.rank())];
+      node.value = op(node.value, incoming);
+      if (--node.pending == 0) {
+        finish(ctx);
+      }
+    }
+
+    void finish(RankContext& ctx) const {
+      auto const r = ctx.rank();
+      auto const& node = (*state)[static_cast<std::size_t>(r)];
+      if (r == 0) {
+        broadcast_down(ctx, node.value);
+      } else {
+        T value = node.value;
+        Proto proto = *this;
+        ctx.send(detail::tree_parent(r), bytes, [proto, value](
+                                                    RankContext& up) {
+          proto.contribute(up, value);
+        });
+      }
+    }
+
+    void broadcast_down(RankContext& ctx, T const& value) const {
+      auto const r = ctx.rank();
+      (*results)[static_cast<std::size_t>(r)] = value;
+      Proto proto = *this;
+      for (int c = 0; c < 2; ++c) {
+        RankId const child = detail::tree_child(r, c);
+        if (child < p) {
+          ctx.send(child, bytes, [proto, value](RankContext& down) {
+            proto.broadcast_down(down, value);
+          });
+        }
+      }
+    }
+  };
+
+  Proto const proto{&state, &results, op, bytes_per_item, p};
+  for (RankId r = 0; r < p; ++r) {
+    T const contribution = contributions[static_cast<std::size_t>(r)];
+    rt.post(r, [proto, contribution](RankContext& ctx) {
+      auto& node = proto.state->at(static_cast<std::size_t>(ctx.rank()));
+      node.value = contribution;
+      node.pending = detail::tree_num_children(ctx.rank(), proto.p) + 1;
+      if (--node.pending == 0) {
+        proto.finish(ctx);
+      }
+    });
+  }
+  rt.run_until_quiescent();
+  return results;
+}
+
+/// Per-rank load statistics carried through the LB's initial allreduce
+/// (the paper's "constant-size statistical data": l_max, l_ave inputs).
+struct LoadStat {
+  LoadType max = 0.0;
+  LoadType sum = 0.0;
+  std::int64_t count = 0;
+
+  [[nodiscard]] LoadType average() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  [[nodiscard]] static LoadStat of(LoadType load) {
+    return LoadStat{load, load, 1};
+  }
+
+  [[nodiscard]] friend LoadStat combine(LoadStat const& a, LoadStat const& b) {
+    return LoadStat{a.max > b.max ? a.max : b.max, a.sum + b.sum,
+                    a.count + b.count};
+  }
+};
+
+/// Allreduce of per-rank loads into global (max, sum, count) statistics.
+inline std::vector<LoadStat> allreduce_loads(Runtime& rt,
+                                             std::vector<LoadType> const&
+                                                 loads) {
+  std::vector<LoadStat> contributions;
+  contributions.reserve(loads.size());
+  for (LoadType const l : loads) {
+    contributions.push_back(LoadStat::of(l));
+  }
+  return allreduce(rt, contributions,
+                   [](LoadStat const& a, LoadStat const& b) {
+                     return combine(a, b);
+                   });
+}
+
+/// Barrier: an allreduce of nothing; completes when every rank reached it.
+inline void barrier(Runtime& rt) {
+  std::vector<int> const zeros(static_cast<std::size_t>(rt.num_ranks()), 0);
+  (void)allreduce(rt, zeros, [](int a, int b) { return a + b; },
+                  /*bytes_per_item=*/0);
+}
+
+} // namespace tlb::rt

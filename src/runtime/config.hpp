@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file config.hpp
+/// Runtime construction parameters.
+
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace tlb::rt {
+
+struct RuntimeConfig {
+  /// Number of simulated ranks (logical processes).
+  RankId num_ranks = 1;
+  /// Worker threads driving the ranks. 1 selects the deterministic
+  /// sequential driver; >1 selects the parallel driver where each worker
+  /// owns a contiguous block of ranks and executes their handlers.
+  int num_threads = 1;
+  /// Seed from which every rank derives an independent RNG stream.
+  std::uint64_t seed = 0x5eedf00dull;
+  /// Messages a rank drains per scheduler visit in the sequential driver
+  /// (fairness/progress knob; does not affect the final quiescent state of
+  /// well-formed protocols).
+  int batch = 16;
+  /// Fault-injection knob: deliver each mailbox's messages in a random
+  /// order instead of FIFO (deterministic given `seed`). Real networks
+  /// reorder across channels; protocols built on this runtime must not
+  /// depend on delivery order for correctness, and the test suite runs
+  /// them under this mode to prove it.
+  bool random_delivery = false;
+};
+
+} // namespace tlb::rt

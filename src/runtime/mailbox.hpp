@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Per-rank FIFO message queue. Multiple producers (any rank's scheduler
+/// may send here), single consumer (the worker that owns the rank). The
+/// consumer drains in batches to amortize locking.
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::rt {
+
+class Mailbox {
+public:
+  void push(Envelope env) {
+    std::lock_guard lock{mutex_};
+    queue_.push_back(std::move(env));
+  }
+
+  /// Pop up to `max_items` messages in FIFO order into `out` (appended).
+  /// Returns the number popped. max_items == 0 means drain everything.
+  std::size_t pop_batch(std::vector<Envelope>& out, std::size_t max_items) {
+    std::lock_guard lock{mutex_};
+    std::size_t n = queue_.size();
+    if (max_items != 0) {
+      n = std::min(n, max_items);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return n;
+  }
+
+  /// Fault-injection variant of pop_batch: each popped message is chosen
+  /// uniformly from the queue instead of from the front, modeling a
+  /// network that reorders deliveries.
+  std::size_t pop_batch_random(std::vector<Envelope>& out,
+                               std::size_t max_items, Rng& rng) {
+    std::lock_guard lock{mutex_};
+    std::size_t n = queue_.size();
+    if (max_items != 0) {
+      n = std::min(n, max_items);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto const pick = rng.index(queue_.size());
+      using std::swap;
+      swap(queue_[pick], queue_.back());
+      out.push_back(std::move(queue_.back()));
+      queue_.pop_back();
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock{mutex_};
+    return queue_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return queue_.size();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::deque<Envelope> queue_;
+};
+
+} // namespace tlb::rt

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file message.hpp
+/// The active-message envelope. A message is a type-erased handler that
+/// executes on the destination rank, plus accounting metadata. Payloads
+/// live inside the closure (the in-process analogue of serialization); the
+/// `bytes` field models what serialization would have put on the wire so
+/// network statistics remain meaningful.
+
+#include <cstddef>
+#include <functional>
+
+#include "support/types.hpp"
+
+namespace tlb::rt {
+
+class RankContext;
+
+/// Handler executed on the destination rank's scheduler.
+using Handler = std::function<void(RankContext&)>;
+
+struct Envelope {
+  RankId from = invalid_rank; ///< invalid_rank marks driver-injected work
+  RankId to = invalid_rank;
+  std::size_t bytes = 0;      ///< modeled wire size of the payload
+  Handler handler;
+};
+
+} // namespace tlb::rt

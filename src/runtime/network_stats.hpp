@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file network_stats.hpp
+/// Aggregate traffic counters maintained by the runtime. Used by the LB
+/// cost model (gossip traffic, migration volume) and by the micro-benches.
+
+#include <atomic>
+#include <cstddef>
+
+namespace tlb::rt {
+
+/// Snapshot of the counters (plain struct for returning by value).
+struct NetworkStatsSnapshot {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  std::size_t local_messages = 0; ///< sends where from == to
+};
+
+/// Thread-safe counters. Relaxed atomics: the totals are only read at
+/// quiescent points.
+class NetworkStats {
+public:
+  void record_send(bool local, std::size_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (local) {
+      local_messages_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void reset() {
+    messages_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+    local_messages_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] NetworkStatsSnapshot snapshot() const {
+    return {messages_.load(std::memory_order_relaxed),
+            bytes_.load(std::memory_order_relaxed),
+            local_messages_.load(std::memory_order_relaxed)};
+  }
+
+private:
+  std::atomic<std::size_t> messages_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> local_messages_{0};
+};
+
+} // namespace tlb::rt

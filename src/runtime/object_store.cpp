@@ -1,0 +1,96 @@
+#include "runtime/object_store.hpp"
+
+#include "support/assert.hpp"
+
+namespace tlb::rt {
+
+ObjectStore::ObjectStore(RankId num_ranks)
+    : local_(static_cast<std::size_t>(num_ranks)) {
+  TLB_EXPECTS(num_ranks > 0);
+}
+
+void ObjectStore::create(RankId rank, TaskId id,
+                         std::unique_ptr<Migratable> payload) {
+  TLB_EXPECTS(rank >= 0 && rank < num_ranks());
+  TLB_EXPECTS(payload != nullptr);
+  auto const [it, inserted] = directory_.emplace(id, rank);
+  (void)it;
+  TLB_EXPECTS(inserted);
+  local_[static_cast<std::size_t>(rank)].emplace(id, std::move(payload));
+}
+
+RankId ObjectStore::owner(TaskId id) const {
+  auto const it = directory_.find(id);
+  return it == directory_.end() ? invalid_rank : it->second;
+}
+
+Migratable* ObjectStore::find(RankId rank, TaskId id) {
+  TLB_EXPECTS(rank >= 0 && rank < num_ranks());
+  auto& map = local_[static_cast<std::size_t>(rank)];
+  auto const it = map.find(id);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+Migratable const* ObjectStore::find(RankId rank, TaskId id) const {
+  TLB_EXPECTS(rank >= 0 && rank < num_ranks());
+  auto const& map = local_[static_cast<std::size_t>(rank)];
+  auto const it = map.find(id);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+std::vector<TaskId> ObjectStore::tasks_on(RankId rank) const {
+  TLB_EXPECTS(rank >= 0 && rank < num_ranks());
+  std::vector<TaskId> out;
+  auto const& map = local_[static_cast<std::size_t>(rank)];
+  out.reserve(map.size());
+  for (auto const& [id, payload] : map) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t ObjectStore::total_tasks() const { return directory_.size(); }
+
+std::size_t ObjectStore::migrate(Runtime& rt,
+                                 std::vector<Migration> const& migrations) {
+  std::size_t moved_bytes = 0;
+  for (Migration const& m : migrations) {
+    TLB_EXPECTS(m.to >= 0 && m.to < num_ranks());
+    auto const dir = directory_.find(m.task);
+    TLB_EXPECTS(dir != directory_.end());
+    TLB_EXPECTS(dir->second == m.from);
+    if (m.from == m.to) {
+      continue;
+    }
+
+    auto& from_map = local_[static_cast<std::size_t>(m.from)];
+    auto const it = from_map.find(m.task);
+    TLB_ASSERT(it != from_map.end());
+    std::size_t const bytes = it->second->wire_bytes();
+
+    // The origin rank sends the extracted payload to the target, which
+    // installs it — the in-process analogue of serialize/ship/deserialize.
+    auto shared_payload =
+        std::make_shared<std::unique_ptr<Migratable>>(std::move(it->second));
+    from_map.erase(it);
+    auto* store = this;
+    TaskId const task = m.task;
+    RankId const to = m.to;
+    rt.post(m.from, [store, shared_payload, task, to, bytes](
+                        RankContext& ctx) {
+      ctx.send(to, bytes, [store, shared_payload, task](RankContext& dest) {
+        store->local_[static_cast<std::size_t>(dest.rank())].emplace(
+            task, std::move(*shared_payload));
+      });
+    });
+
+    dir->second = m.to;
+    moved_bytes += bytes;
+    ++migration_count_;
+  }
+  rt.run_until_quiescent();
+  migration_bytes_ += moved_bytes;
+  return moved_bytes;
+}
+
+} // namespace tlb::rt

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file object_store.hpp
+/// The migratable-object (task) model: every task owns a payload that
+/// moves with it when the load balancer reassigns it to another rank.
+/// Payload movement is performed with active messages carrying the object,
+/// so migration traffic is visible in the network statistics with the
+/// payload's modeled serialized size.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/types.hpp"
+
+namespace tlb::rt {
+
+/// Base class for anything a task carries across ranks. Implementations
+/// report their modeled serialized size for migration-cost accounting.
+class Migratable {
+public:
+  virtual ~Migratable() = default;
+  Migratable() = default;
+  Migratable(Migratable const&) = delete;
+  Migratable& operator=(Migratable const&) = delete;
+
+  /// Modeled wire size of this object if it were serialized.
+  [[nodiscard]] virtual std::size_t wire_bytes() const = 0;
+};
+
+/// Per-job store of migratable tasks. Each rank owns a local map; a
+/// directory records the current owner of every task (standing in for the
+/// distributed location service a real AMT runtime maintains).
+///
+/// Thread-safety: creation and the migration protocol are driver-level
+/// operations executed between phases; handlers running concurrently
+/// during a phase may only touch tasks local to their own rank.
+class ObjectStore {
+public:
+  explicit ObjectStore(RankId num_ranks);
+
+  /// Register a new task on `rank`. Task ids must be unique.
+  void create(RankId rank, TaskId id, std::unique_ptr<Migratable> payload);
+
+  /// Current owner of a task; invalid_rank if unknown.
+  [[nodiscard]] RankId owner(TaskId id) const;
+
+  /// Payload access; null when the task is not on `rank`.
+  [[nodiscard]] Migratable* find(RankId rank, TaskId id);
+  [[nodiscard]] Migratable const* find(RankId rank, TaskId id) const;
+
+  /// Task ids currently on `rank` (sorted).
+  [[nodiscard]] std::vector<TaskId> tasks_on(RankId rank) const;
+
+  [[nodiscard]] std::size_t total_tasks() const;
+  [[nodiscard]] RankId num_ranks() const {
+    return static_cast<RankId>(local_.size());
+  }
+
+  /// Execute a batch of migrations via active messages on the runtime:
+  /// each origin rank extracts the payload and sends it to the target,
+  /// which installs it. Runs to quiescence. Migrations whose `from` does
+  /// not match the directory are rejected with a contract violation.
+  /// Returns the total payload bytes moved.
+  std::size_t migrate(Runtime& rt, std::vector<Migration> const& migrations);
+
+  /// Cumulative payload bytes moved by all migrate() calls.
+  [[nodiscard]] std::size_t migration_bytes() const {
+    return migration_bytes_;
+  }
+  [[nodiscard]] std::size_t migration_count() const {
+    return migration_count_;
+  }
+
+private:
+  std::vector<std::map<TaskId, std::unique_ptr<Migratable>>> local_;
+  std::map<TaskId, RankId> directory_;
+  std::size_t migration_bytes_ = 0;
+  std::size_t migration_count_ = 0;
+};
+
+} // namespace tlb::rt

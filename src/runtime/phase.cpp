@@ -1,0 +1,62 @@
+#include "runtime/phase.hpp"
+
+#include "support/assert.hpp"
+
+namespace tlb::rt {
+
+PhaseInstrumentation::PhaseInstrumentation(RankId num_ranks)
+    : current_(static_cast<std::size_t>(num_ranks)),
+      previous_(static_cast<std::size_t>(num_ranks)) {
+  TLB_EXPECTS(num_ranks > 0);
+}
+
+void PhaseInstrumentation::start_phase() {
+  previous_ = std::move(current_);
+  current_.assign(previous_.size(), {});
+  ++phase_;
+}
+
+void PhaseInstrumentation::record(RankId rank, TaskId task, LoadType load) {
+  TLB_EXPECTS(rank >= 0 &&
+              static_cast<std::size_t>(rank) < current_.size());
+  TLB_EXPECTS(load >= 0.0);
+  current_[static_cast<std::size_t>(rank)][task] += load;
+}
+
+std::vector<lb::TaskEntry>
+PhaseInstrumentation::previous_tasks(RankId rank) const {
+  TLB_EXPECTS(rank >= 0 &&
+              static_cast<std::size_t>(rank) < previous_.size());
+  std::vector<lb::TaskEntry> out;
+  auto const& m = previous_[static_cast<std::size_t>(rank)];
+  out.reserve(m.size());
+  for (auto const& [id, load] : m) {
+    out.push_back({id, load});
+  }
+  return out;
+}
+
+std::vector<LoadType> PhaseInstrumentation::previous_rank_loads() const {
+  std::vector<LoadType> out(previous_.size(), 0.0);
+  for (std::size_t r = 0; r < previous_.size(); ++r) {
+    for (auto const& [id, load] : previous_[r]) {
+      out[r] += load;
+    }
+  }
+  return out;
+}
+
+std::vector<lb::TaskEntry>
+PhaseInstrumentation::current_tasks(RankId rank) const {
+  TLB_EXPECTS(rank >= 0 &&
+              static_cast<std::size_t>(rank) < current_.size());
+  std::vector<lb::TaskEntry> out;
+  auto const& m = current_[static_cast<std::size_t>(rank)];
+  out.reserve(m.size());
+  for (auto const& [id, load] : m) {
+    out.push_back({id, load});
+  }
+  return out;
+}
+
+} // namespace tlb::rt

@@ -1,0 +1,142 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace tlb::rt {
+
+RankId RankContext::num_ranks() const { return rt_->num_ranks(); }
+
+void RankContext::send(RankId to, std::size_t bytes, Handler handler) {
+  rt_->stats_.record_send(to == rank_, bytes);
+  rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler)});
+}
+
+Rng& RankContext::rng() { return rt_->rank_rng(rank_); }
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_{config},
+      mailboxes_(static_cast<std::size_t>(config.num_ranks)) {
+  TLB_EXPECTS(config.num_ranks > 0);
+  TLB_EXPECTS(config.num_threads >= 1);
+  TLB_EXPECTS(config.batch > 0);
+  Rng const root{config.seed};
+  rank_rngs_.reserve(static_cast<std::size_t>(config.num_ranks));
+  for (RankId r = 0; r < config.num_ranks; ++r) {
+    rank_rngs_.push_back(root.split(static_cast<std::uint64_t>(r)));
+  }
+}
+
+void Runtime::post(RankId to, Handler handler, std::size_t bytes) {
+  TLB_EXPECTS(to >= 0 && to < num_ranks());
+  stats_.record_send(false, bytes);
+  enqueue(Envelope{invalid_rank, to, bytes, std::move(handler)});
+}
+
+void Runtime::post_all(Handler const& handler) {
+  for (RankId r = 0; r < num_ranks(); ++r) {
+    post(r, handler);
+  }
+}
+
+void Runtime::enqueue(Envelope env) {
+  TLB_EXPECTS(env.to >= 0 && env.to < num_ranks());
+  // Increment strictly before the message becomes visible so in_flight==0
+  // can never be observed while work remains.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  mailboxes_[static_cast<std::size_t>(env.to)].push(std::move(env));
+}
+
+Rng& Runtime::rank_rng(RankId rank) {
+  TLB_EXPECTS(rank >= 0 && rank < num_ranks());
+  return rank_rngs_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
+                                std::size_t batch) {
+  scratch.clear();
+  auto& mailbox = mailboxes_[static_cast<std::size_t>(rank)];
+  auto const n =
+      config_.random_delivery
+          ? mailbox.pop_batch_random(scratch, batch, rank_rng(rank))
+          : mailbox.pop_batch(scratch, batch);
+  RankContext ctx{*this, rank};
+  for (Envelope& env : scratch) {
+    env.handler(ctx);
+    // Decrement only after the handler (and the sends it performed, which
+    // have already incremented the counter) completes.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return n;
+}
+
+void Runtime::run_until_quiescent() {
+  if (config_.num_threads <= 1) {
+    run_sequential();
+  } else {
+    run_threaded();
+  }
+  TLB_ENSURES(in_flight_.load(std::memory_order_acquire) == 0);
+}
+
+void Runtime::run_sequential() {
+  // Deterministic round-robin: visit ranks in order, draining a bounded
+  // batch from each, until the in-flight counter reaches zero.
+  std::vector<Envelope> scratch;
+  scratch.reserve(static_cast<std::size_t>(config_.batch));
+  auto const batch = static_cast<std::size_t>(config_.batch);
+  while (in_flight_.load(std::memory_order_acquire) > 0) {
+    for (RankId r = 0; r < num_ranks(); ++r) {
+      drain_rank(r, scratch, batch);
+    }
+  }
+}
+
+void Runtime::run_threaded() {
+  int const workers =
+      std::min<int>(config_.num_threads, static_cast<int>(num_ranks()));
+  // Contiguous block ownership: a rank's handlers only ever execute on its
+  // owning worker, so per-rank protocol state needs no locking.
+  auto const ranks_per_worker =
+      (static_cast<std::size_t>(num_ranks()) +
+       static_cast<std::size_t>(workers) - 1) /
+      static_cast<std::size_t>(workers);
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    auto const lo = static_cast<RankId>(
+        static_cast<std::size_t>(w) * ranks_per_worker);
+    auto const hi = std::min<RankId>(
+        num_ranks(), static_cast<RankId>(
+                         static_cast<std::size_t>(w + 1) * ranks_per_worker));
+    pool.emplace_back([this, lo, hi] {
+      std::vector<Envelope> scratch;
+      auto const batch = static_cast<std::size_t>(config_.batch);
+      scratch.reserve(batch);
+      int idle_spins = 0;
+      while (in_flight_.load(std::memory_order_acquire) > 0) {
+        std::size_t processed = 0;
+        for (RankId r = lo; r < hi; ++r) {
+          processed += drain_rank(r, scratch, batch);
+        }
+        if (processed == 0) {
+          // Backoff: other workers' messages may still be in flight
+          // toward our ranks.
+          if (++idle_spins > 64) {
+            std::this_thread::yield();
+          }
+        } else {
+          idle_spins = 0;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+} // namespace tlb::rt

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The in-process AMT runtime: P simulated ranks exchanging active
+/// messages, driven either by a deterministic sequential scheduler or by a
+/// pool of worker threads (each owning a contiguous block of ranks, so any
+/// given rank's handlers always execute single-threaded).
+///
+/// Quiescence ("termination detection" for a protocol stage) uses an
+/// in-flight message counter: incremented at send, decremented only after
+/// the handler — including all sends it performed — has returned. The
+/// counter reaching zero therefore implies no queued messages and no
+/// executing handler anywhere: exactly the guarantee a distributed
+/// termination detector provides, obtained here through shared memory. A
+/// faithful message-based Mattern four-counter detector is implemented in
+/// termination.hpp and validated against this ground truth in the tests.
+
+#include <memory>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/message.hpp"
+#include "runtime/network_stats.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace tlb::rt {
+
+class Runtime;
+
+/// Execution context passed to every handler: identifies the rank the
+/// handler runs on and provides its communication and RNG facilities.
+class RankContext {
+public:
+  RankContext(Runtime& runtime, RankId rank) : rt_{&runtime}, rank_{rank} {}
+
+  [[nodiscard]] RankId rank() const { return rank_; }
+  [[nodiscard]] RankId num_ranks() const;
+
+  /// Send an active message; `bytes` models the serialized payload size.
+  void send(RankId to, std::size_t bytes, Handler handler);
+
+  /// This rank's deterministic RNG stream.
+  [[nodiscard]] Rng& rng();
+
+  [[nodiscard]] Runtime& runtime() { return *rt_; }
+
+private:
+  Runtime* rt_;
+  RankId rank_;
+};
+
+class Runtime {
+public:
+  explicit Runtime(RuntimeConfig config);
+  Runtime(Runtime const&) = delete;
+  Runtime& operator=(Runtime const&) = delete;
+  ~Runtime() = default;
+
+  [[nodiscard]] RankId num_ranks() const { return config_.num_ranks; }
+  [[nodiscard]] RuntimeConfig const& config() const { return config_; }
+
+  /// Inject work onto a rank from the driver (outside any handler).
+  void post(RankId to, Handler handler, std::size_t bytes = 0);
+
+  /// Inject the same work onto every rank.
+  void post_all(Handler const& handler);
+
+  /// Drive all ranks until global quiescence: every posted and sent
+  /// message has been processed and no handler is executing.
+  void run_until_quiescent();
+
+  [[nodiscard]] NetworkStatsSnapshot stats() const {
+    return stats_.snapshot();
+  }
+  void reset_stats() { stats_.reset(); }
+
+  /// Deterministic per-rank RNG stream (derived from config seed).
+  [[nodiscard]] Rng& rank_rng(RankId rank);
+
+private:
+  friend class RankContext;
+
+  void enqueue(Envelope env);
+  void run_sequential();
+  void run_threaded();
+  /// Drain up to `batch` messages from one rank; returns count processed.
+  std::size_t drain_rank(RankId rank, std::vector<Envelope>& scratch,
+                         std::size_t batch);
+
+  RuntimeConfig config_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<Rng> rank_rngs_;
+  NetworkStats stats_;
+  std::atomic<std::int64_t> in_flight_{0};
+};
+
+} // namespace tlb::rt

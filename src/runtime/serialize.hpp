@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file serialize.hpp
+/// A small byte-oriented serialization layer. The in-process runtime
+/// could pass payloads by reference, but the protocols in this library
+/// ship their data through Packer/Unpacker so that (a) the modeled wire
+/// sizes are the *actual* serialized sizes and (b) the code is proven to
+/// survive a real serialize/ship/deserialize boundary — what running over
+/// MPI would require.
+///
+/// Format: little-endian host representation of trivially copyable types,
+/// length-prefixed containers. Not portable across heterogeneous
+/// architectures (neither are most HPC wire formats); bounds-checked on
+/// the read side.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tlb::rt {
+
+class Packer {
+public:
+  /// Serialize a trivially copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pack(T const& value) {
+    auto const offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &value, sizeof(T));
+  }
+
+  /// Serialize a vector of trivially copyable elements (u64 length
+  /// prefix + raw elements).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void pack(std::vector<T> const& values) {
+    pack(static_cast<std::uint64_t>(values.size()));
+    auto const offset = buffer_.size();
+    buffer_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(buffer_.data() + offset, values.data(),
+                  values.size() * sizeof(T));
+    }
+  }
+
+  void pack(std::string const& value) {
+    pack(static_cast<std::uint64_t>(value.size()));
+    auto const offset = buffer_.size();
+    buffer_.resize(offset + value.size());
+    if (!value.empty()) {
+      std::memcpy(buffer_.data() + offset, value.data(), value.size());
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] std::span<std::byte const> bytes() const { return buffer_; }
+
+  /// Surrender the buffer (e.g. to move into a message closure).
+  [[nodiscard]] std::vector<std::byte> take() && {
+    return std::move(buffer_);
+  }
+
+private:
+  std::vector<std::byte> buffer_;
+};
+
+class Unpacker {
+public:
+  explicit Unpacker(std::span<std::byte const> bytes) : bytes_{bytes} {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T unpack() {
+    TLB_EXPECTS(offset_ + sizeof(T) <= bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> unpack_vector() {
+    auto const n = unpack<std::uint64_t>();
+    TLB_EXPECTS(offset_ + n * sizeof(T) <= bytes_.size());
+    std::vector<T> values(static_cast<std::size_t>(n));
+    if (n > 0) {
+      std::memcpy(values.data(), bytes_.data() + offset_,
+                  static_cast<std::size_t>(n) * sizeof(T));
+    }
+    offset_ += static_cast<std::size_t>(n) * sizeof(T);
+    return values;
+  }
+
+  [[nodiscard]] std::string unpack_string() {
+    auto const n = unpack<std::uint64_t>();
+    TLB_EXPECTS(offset_ + n <= bytes_.size());
+    std::string value(reinterpret_cast<char const*>(bytes_.data() + offset_),
+                      static_cast<std::size_t>(n));
+    offset_ += static_cast<std::size_t>(n);
+    return value;
+  }
+
+  /// Bytes consumed so far.
+  [[nodiscard]] std::size_t consumed() const { return offset_; }
+  /// True when every byte has been consumed (a useful postcondition).
+  [[nodiscard]] bool exhausted() const { return offset_ == bytes_.size(); }
+
+private:
+  std::span<std::byte const> bytes_;
+  std::size_t offset_ = 0;
+};
+
+} // namespace tlb::rt

@@ -1,0 +1,120 @@
+#include "runtime/termination.hpp"
+
+#include <atomic>
+
+#include "support/assert.hpp"
+
+namespace tlb::rt {
+
+namespace {
+/// Cache-line padded per-rank counters; each slot is only mutated by
+/// handlers on its own rank.
+struct alignas(64) RankCounters {
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+};
+} // namespace
+
+struct TerminationDetector::State {
+  std::vector<RankCounters> counters;
+  // Wave bookkeeping lives on rank 0's execution only.
+  std::int64_t prev_sent = -1;
+  std::int64_t prev_recv = -2;
+  std::atomic<bool> terminated{false};
+  std::atomic<std::int64_t> certified{0};
+  std::atomic<std::size_t> waves{0};
+  std::size_t wave_budget = 0;
+};
+
+TerminationDetector::TerminationDetector(Runtime& rt, std::size_t wave_budget)
+    : rt_{&rt}, state_{std::make_shared<State>()} {
+  state_->counters.resize(static_cast<std::size_t>(rt.num_ranks()));
+  state_->wave_budget = wave_budget;
+}
+
+void TerminationDetector::send(RankContext& ctx, RankId to, std::size_t bytes,
+                               Handler handler) {
+  auto st = state_;
+  ++st->counters[static_cast<std::size_t>(ctx.rank())].sent;
+  ctx.send(to, bytes,
+           [st, inner = std::move(handler)](RankContext& dest) {
+             ++st->counters[static_cast<std::size_t>(dest.rank())].received;
+             inner(dest);
+           });
+}
+
+void TerminationDetector::post(RankId to, Handler handler, std::size_t bytes) {
+  auto st = state_;
+  // Driver-injected work counts as a send from a virtual source; attribute
+  // it to the destination's sent counter so sums still balance.
+  ++st->counters[static_cast<std::size_t>(to)].sent;
+  rt_->post(to,
+            [st, inner = std::move(handler)](RankContext& dest) {
+              ++st->counters[static_cast<std::size_t>(dest.rank())].received;
+              inner(dest);
+            },
+            bytes);
+}
+
+void TerminationDetector::wave_step(RankContext& ctx, std::int64_t sent,
+                                    std::int64_t recv) {
+  auto st = state_;
+  auto const r = ctx.rank();
+  auto const p = ctx.num_ranks();
+  auto const& mine = st->counters[static_cast<std::size_t>(r)];
+  std::int64_t const total_sent = sent + mine.sent;
+  std::int64_t const total_recv = recv + mine.received;
+
+  RankId const next = (r + 1) % p;
+  if (next != 0) {
+    TerminationDetector self = *this;
+    ctx.send(next, 2 * sizeof(std::int64_t),
+             [self, total_sent, total_recv](RankContext& c) mutable {
+               self.wave_step(c, total_sent, total_recv);
+             });
+    return;
+  }
+
+  // Wave completed back at rank 0: apply the four-counter condition.
+  st->waves.fetch_add(1, std::memory_order_relaxed);
+  bool const balanced = total_sent == total_recv;
+  bool const stable =
+      total_sent == st->prev_sent && total_recv == st->prev_recv;
+  if (balanced && stable) {
+    st->certified.store(total_sent, std::memory_order_relaxed);
+    st->terminated.store(true, std::memory_order_release);
+    return;
+  }
+  st->prev_sent = total_sent;
+  st->prev_recv = total_recv;
+  if (st->wave_budget != 0 &&
+      st->waves.load(std::memory_order_relaxed) >= st->wave_budget) {
+    return; // safety valve: stop circulating
+  }
+  // Launch the next wave.
+  TerminationDetector self = *this;
+  ctx.send(0, 2 * sizeof(std::int64_t), [self](RankContext& c) mutable {
+    self.wave_step(c, 0, 0);
+  });
+}
+
+void TerminationDetector::start() {
+  TerminationDetector self = *this;
+  rt_->post(0, [self](RankContext& ctx) mutable {
+    self.wave_step(ctx, 0, 0);
+  });
+}
+
+bool TerminationDetector::terminated() const {
+  return state_->terminated.load(std::memory_order_acquire);
+}
+
+std::int64_t TerminationDetector::certified_count() const {
+  return state_->certified.load(std::memory_order_relaxed);
+}
+
+std::size_t TerminationDetector::waves() const {
+  return state_->waves.load(std::memory_order_relaxed);
+}
+
+} // namespace tlb::rt

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file termination.hpp
+/// Mattern's four-counter termination detection, implemented with real
+/// control messages over the runtime (a ring of counting waves). The
+/// production protocols in this library use the runtime's in-flight
+/// counter for quiescence — which shared memory makes exact — but the
+/// paper's distributed setting relies on message-based detection, so the
+/// substrate provides the genuine algorithm and the tests validate it
+/// against the exact ground truth.
+///
+/// Usage: wrap every application send in `send()` so the detector counts
+/// it, and start the wave engine with `start()`. The detector reports
+/// termination only after two consecutive waves observe identical global
+/// (sent, received) sums with sent == received — the four-counter
+/// condition that is immune to in-transit messages crossing a wave.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace tlb::rt {
+
+class TerminationDetector {
+public:
+  /// \param rt           Runtime to run over.
+  /// \param wave_budget  Safety valve: maximum waves before giving up
+  ///                     (prevents an ill-formed test from spinning
+  ///                     forever). 0 means unlimited.
+  explicit TerminationDetector(Runtime& rt, std::size_t wave_budget = 0);
+
+  /// Counted send: use instead of ctx.send for application messages.
+  void send(RankContext& ctx, RankId to, std::size_t bytes, Handler handler);
+
+  /// Inject counted work from the driver onto a rank.
+  void post(RankId to, Handler handler, std::size_t bytes = 0);
+
+  /// Launch the wave engine from rank 0. Waves keep circulating until the
+  /// four-counter condition holds; each wave is made of real messages, so
+  /// a subsequent run_until_quiescent() drains activity and waves alike.
+  void start();
+
+  /// True once a wave pair certified termination.
+  [[nodiscard]] bool terminated() const;
+
+  /// Global message count certified by the final wave.
+  [[nodiscard]] std::int64_t certified_count() const;
+
+  /// Number of waves performed.
+  [[nodiscard]] std::size_t waves() const;
+
+private:
+  struct State;
+  void wave_step(RankContext& ctx, std::int64_t sent, std::int64_t recv);
+
+  Runtime* rt_;
+  std::shared_ptr<State> state_;
+};
+
+} // namespace tlb::rt

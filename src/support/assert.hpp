@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros in the style of the C++ Core Guidelines'
+/// Expects/Ensures. These are always on (including release builds) because
+/// the library is a research artifact where silent contract violations
+/// invalidate experiments; the checks are cheap relative to the workloads.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tlb::detail {
+
+[[noreturn]] inline void
+assert_fail(char const* kind, char const* expr, char const* file, int line) {
+  std::fprintf(stderr, "tlb: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+} // namespace tlb::detail
+
+#define TLB_ASSERT(expr)                                                       \
+  ((expr) ? (void)0                                                           \
+          : ::tlb::detail::assert_fail("assertion", #expr, __FILE__, __LINE__))
+
+/// Precondition on a public API entry point.
+#define TLB_EXPECTS(expr)                                                      \
+  ((expr) ? (void)0                                                           \
+          : ::tlb::detail::assert_fail("precondition", #expr, __FILE__,        \
+                                       __LINE__))
+
+/// Postcondition guaranteed to callers.
+#define TLB_ENSURES(expr)                                                      \
+  ((expr) ? (void)0                                                           \
+          : ::tlb::detail::assert_fail("postcondition", #expr, __FILE__,       \
+                                       __LINE__))

@@ -1,0 +1,109 @@
+#include "support/config.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace tlb {
+
+Options Options::parse(int argc, char const* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view const arg = argv[i];
+    if (!arg.starts_with("--")) {
+      opts.positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view const body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("empty option name: '--'");
+    }
+    if (auto const eq = body.find('='); eq != std::string_view::npos) {
+      if (eq == 0) {
+        throw std::invalid_argument("empty option name in '" +
+                                    std::string{arg} + "'");
+      }
+      opts.values_[std::string{body.substr(0, eq)}] =
+          std::string{body.substr(eq + 1)};
+    } else if (i + 1 < argc && std::string_view{argv[i + 1]}.substr(0, 2) !=
+                                   std::string_view{"--"}) {
+      opts.values_[std::string{body}] = argv[i + 1];
+      ++i;
+    } else {
+      opts.values_[std::string{body}] = "true";
+    }
+  }
+  return opts;
+}
+
+bool Options::has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Options::get(std::string_view key) const {
+  auto const it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::int64_t Options::get_int(std::string_view key,
+                              std::int64_t fallback) const {
+  auto const v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  std::int64_t out = 0;
+  auto const [ptr, ec] =
+      std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    throw std::invalid_argument("option --" + std::string{key} +
+                                " expects an integer, got '" + *v + "'");
+  }
+  return out;
+}
+
+double Options::get_double(std::string_view key, double fallback) const {
+  auto const v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    double const out = std::stod(*v, &pos);
+    if (pos != v->size()) {
+      throw std::invalid_argument("");
+    }
+    return out;
+  } catch (std::exception const&) {
+    throw std::invalid_argument("option --" + std::string{key} +
+                                " expects a number, got '" + *v + "'");
+  }
+}
+
+std::string Options::get_string(std::string_view key,
+                                std::string fallback) const {
+  auto const v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+bool Options::get_bool(std::string_view key, bool fallback) const {
+  auto const v = get(key);
+  if (!v) {
+    return fallback;
+  }
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") {
+    return true;
+  }
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("option --" + std::string{key} +
+                              " expects a boolean, got '" + *v + "'");
+}
+
+void Options::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+} // namespace tlb

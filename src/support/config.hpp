@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file config.hpp
+/// Minimal command-line option parsing shared by benches and examples.
+/// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlb {
+
+/// Parsed command-line options. Unrecognized positional arguments are kept
+/// in order. Lookup helpers parse and validate on access.
+class Options {
+public:
+  Options() = default;
+
+  /// Parse argv; throws std::invalid_argument on malformed input (an
+  /// option with an empty key).
+  static Options parse(int argc, char const* const* argv);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed access with a default; throws std::invalid_argument when the
+  /// value is present but unparsable.
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> const& positional() const {
+    return positional_;
+  }
+
+  /// Record a key (used by tests and for programmatic construction).
+  void set(std::string key, std::string value);
+
+private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+} // namespace tlb

@@ -1,0 +1,49 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace tlb {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+char const* level_name(LogLevel level) {
+  switch (level) {
+  case LogLevel::trace: return "TRACE";
+  case LogLevel::debug: return "DEBUG";
+  case LogLevel::info: return "INFO";
+  case LogLevel::warn: return "WARN";
+  case LogLevel::error: return "ERROR";
+  case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+} // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void log_emit(LogLevel level, std::string_view component,
+              std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+} // namespace detail
+
+} // namespace tlb

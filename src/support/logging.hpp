@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file logging.hpp
+/// Leveled logging to stderr. Thread-safe at line granularity (messages are
+/// assembled in a buffer and emitted in one write). Off by default above
+/// `warn` so library code can log diagnostics without polluting bench output.
+
+#include <sstream>
+#include <string_view>
+
+namespace tlb {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3,
+                            error = 4, off = 5 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view component,
+              std::string_view message);
+}
+
+/// Streaming log statement:
+///   TLB_LOG(info, "runtime") << "ranks=" << p;
+/// The stream body is only evaluated when the level is enabled.
+#define TLB_LOG(level_, component_)                                           \
+  if (::tlb::LogLevel::level_ < ::tlb::log_level()) {                         \
+  } else                                                                      \
+    ::tlb::detail::LogLine{::tlb::LogLevel::level_, component_}.stream()
+
+namespace detail {
+
+class LogLine {
+public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_{level}, component_{component} {}
+  LogLine(LogLine const&) = delete;
+  LogLine& operator=(LogLine const&) = delete;
+  ~LogLine() { log_emit(level_, component_, buffer_.str()); }
+
+  std::ostringstream& stream() { return buffer_; }
+
+private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream buffer_;
+};
+
+} // namespace detail
+
+} // namespace tlb

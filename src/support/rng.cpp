@@ -1,0 +1,60 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace tlb {
+
+double Rng::normal() {
+  // Box-Muller; discard the paired deviate to keep Rng state minimal.
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  double const u2 = uniform();
+  constexpr double two_pi = 6.28318530717958647692;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  TLB_EXPECTS(sigma >= 0.0);
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::gamma(double shape, double scale) {
+  TLB_EXPECTS(shape > 0.0);
+  TLB_EXPECTS(scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and apply the standard power correction.
+    double const u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  double const d = shape - 1.0 / 3.0;
+  double const c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) {
+      continue;
+    }
+    v = v * v * v;
+    double const u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v * scale;
+    }
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::exponential(double mean) {
+  TLB_EXPECTS(mean > 0.0);
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -mean * std::log(u);
+}
+
+} // namespace tlb

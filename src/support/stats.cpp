@@ -1,0 +1,131 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace tlb {
+
+double LoadSummary::imbalance() const {
+  if (count == 0 || mean <= 0.0) {
+    return 0.0;
+  }
+  return max / mean - 1.0;
+}
+
+LoadSummary summarize(std::span<LoadType const> loads) {
+  LoadSummary s;
+  if (loads.empty()) {
+    return s;
+  }
+  s.count = loads.size();
+  s.min = std::numeric_limits<LoadType>::max();
+  s.max = std::numeric_limits<LoadType>::lowest();
+  for (LoadType const l : loads) {
+    s.min = std::min(s.min, l);
+    s.max = std::max(s.max, l);
+    s.sum += l;
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (LoadType const l : loads) {
+    double const d = l - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double imbalance(std::span<LoadType const> loads) {
+  return summarize(loads).imbalance();
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double const delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(RunningStats const& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double const delta = other.mean_ - mean_;
+  auto const na = static_cast<double>(n_);
+  auto const nb = static_cast<double>(other.n_);
+  double const n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  TLB_EXPECTS(hi > lo);
+  TLB_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  double const frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  TLB_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  TLB_EXPECTS(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double percentile(std::span<double const> data, double q) {
+  TLB_EXPECTS(q >= 0.0 && q <= 100.0);
+  if (data.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  double const rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto const lo = static_cast<std::size_t>(rank);
+  auto const hi = std::min(lo + 1, sorted.size() - 1);
+  double const frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace tlb

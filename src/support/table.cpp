@@ -1,0 +1,152 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tlb {
+
+namespace {
+
+bool looks_numeric(std::string_view s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char const c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+          c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool needs_csv_quotes(std::string_view s) {
+  return s.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  TLB_EXPECTS(!headers_.empty());
+}
+
+Table& Table::begin_row() {
+  TLB_EXPECTS(rows_.empty() || rows_.back().size() == headers_.size());
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add_cell(std::string value) {
+  TLB_EXPECTS(!rows_.empty());
+  TLB_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add_cell(std::string_view value) {
+  return add_cell(std::string{value});
+}
+
+Table& Table::add_cell(char const* value) {
+  return add_cell(std::string{value});
+}
+
+Table& Table::add_cell(double value, int precision) {
+  return add_cell(fmt(value, precision));
+}
+
+Table& Table::add_cell(long long value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(unsigned long long value) {
+  return add_cell(std::to_string(value));
+}
+
+Table& Table::add_cell(int value) { return add_cell(std::to_string(value)); }
+
+Table& Table::add_cell(std::size_t value) {
+  return add_cell(std::to_string(value));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (auto const& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit = [&](std::vector<std::string> const& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::string_view const cell =
+          c < cells.size() ? std::string_view{cells[c]} : std::string_view{};
+      std::size_t const pad = widths[c] - cell.size();
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << (c + 1 < headers_.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t const w : widths) {
+    total += w;
+  }
+  total += 2 * (headers_.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (auto const& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](std::vector<std::string> const& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string_view const cell = cells[c];
+      if (needs_csv_quotes(cell)) {
+        os << '"';
+        for (char const ch : cell) {
+          if (ch == '"') {
+            os << '"';
+          }
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+      if (c + 1 < cells.size()) {
+        os << ',';
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (auto const& row : rows_) {
+    emit(row);
+  }
+}
+
+} // namespace tlb

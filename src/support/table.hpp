@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned console table and CSV emission, used by the benchmark harnesses
+/// to print rows in the same layout as the paper's tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlb {
+
+/// A simple row/column table. Cells are strings; helpers format numerics.
+/// The console renderer right-aligns numeric-looking cells; the CSV
+/// renderer quotes only when needed.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add_cell calls fill it left to right.
+  Table& begin_row();
+  Table& add_cell(std::string value);
+  Table& add_cell(std::string_view value);
+  Table& add_cell(char const* value);
+  Table& add_cell(double value, int precision = 3);
+  Table& add_cell(long long value);
+  Table& add_cell(unsigned long long value);
+  Table& add_cell(int value);
+  Table& add_cell(std::size_t value);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Render with aligned columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish quoting).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: format a double with fixed precision.
+  static std::string fmt(double value, int precision = 3);
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tlb

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental vocabulary types shared by every module.
+
+#include <cstdint>
+#include <limits>
+
+namespace tlb {
+
+/// Logical rank (process) identifier inside the simulated job.
+using RankId = std::int32_t;
+
+/// Globally-unique migratable task (object) identifier.
+using TaskId = std::int64_t;
+
+/// Task/rank load in simulated seconds.
+using LoadType = double;
+
+inline constexpr RankId invalid_rank = -1;
+inline constexpr TaskId invalid_task = -1;
+
+/// A single proposed or executed task relocation.
+struct Migration {
+  TaskId task = invalid_task;
+  RankId from = invalid_rank;
+  RankId to = invalid_rank;
+  LoadType load = 0.0;
+
+  friend bool operator==(Migration const&, Migration const&) = default;
+};
+
+} // namespace tlb

@@ -1,0 +1,133 @@
+#include "lb/cmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "support/rng.hpp"
+
+namespace tlb::lb {
+namespace {
+
+Knowledge make_knowledge(std::initializer_list<KnownRank> entries) {
+  Knowledge k;
+  for (auto const& e : entries) {
+    k.insert(e.rank, e.load);
+  }
+  return k;
+}
+
+TEST(Cmf, OriginalNormalizerIsAverage) {
+  auto const k = make_knowledge({{1, 0.2}, {2, 0.4}});
+  Cmf const cmf{CmfKind::original, k.entries(), 1.0, /*self=*/0};
+  EXPECT_DOUBLE_EQ(cmf.normalizer(), 1.0);
+  EXPECT_EQ(cmf.size(), 2u);
+}
+
+TEST(Cmf, ModifiedNormalizerIsMaxOfAveAndLoads) {
+  auto const k = make_knowledge({{1, 0.2}, {2, 2.5}});
+  Cmf const cmf{CmfKind::modified, k.entries(), 1.0, /*self=*/0};
+  EXPECT_DOUBLE_EQ(cmf.normalizer(), 2.5);
+}
+
+TEST(Cmf, ModifiedKeepsOverloadedRanksOutButKeepsOthersSampleable) {
+  // Rank 2 sits above l_ave: under the original normalizer its weight is
+  // negative (excluded); under the modified one rank 1 keeps a positive
+  // weight relative to l_s = 2.0 and rank 2 is exactly at the cap.
+  auto const k = make_knowledge({{1, 0.5}, {2, 2.0}});
+  Cmf const original{CmfKind::original, k.entries(), 1.0, 0};
+  Cmf const modified{CmfKind::modified, k.entries(), 1.0, 0};
+  EXPECT_EQ(original.size(), 1u); // only rank 1
+  EXPECT_EQ(modified.size(), 1u); // rank 2 weight exactly 0 -> excluded
+  EXPECT_EQ(modified.rank_at(0), 1);
+  // Modified weights: rank1 gets (1 - 0.5/2) = 0.75 normalized to 1.
+  EXPECT_DOUBLE_EQ(modified.probability(0), 1.0);
+}
+
+TEST(Cmf, ProbabilitiesMatchHeadroomFormula) {
+  // Algorithm 2 lines 27-28: p_i = (1 - load_i / l_s) / z.
+  auto const k = make_knowledge({{1, 0.0}, {2, 0.5}});
+  Cmf const cmf{CmfKind::original, k.entries(), 1.0, 0};
+  ASSERT_EQ(cmf.size(), 2u);
+  double const w1 = 1.0;
+  double const w2 = 0.5;
+  EXPECT_NEAR(cmf.probability(0), w1 / (w1 + w2), 1e-12);
+  EXPECT_NEAR(cmf.probability(1), w2 / (w1 + w2), 1e-12);
+}
+
+TEST(Cmf, ExcludesSelf) {
+  auto const k = make_knowledge({{0, 0.1}, {1, 0.1}});
+  Cmf const cmf{CmfKind::original, k.entries(), 1.0, /*self=*/0};
+  ASSERT_EQ(cmf.size(), 1u);
+  EXPECT_EQ(cmf.rank_at(0), 1);
+}
+
+TEST(Cmf, EmptyWhenAllRanksFull) {
+  auto const k = make_knowledge({{1, 1.0}, {2, 1.2}});
+  Cmf const cmf{CmfKind::original, k.entries(), 1.0, 0};
+  EXPECT_TRUE(cmf.empty());
+}
+
+TEST(Cmf, EmptyWhenNoKnowledge) {
+  Knowledge const k;
+  Cmf const cmf{CmfKind::modified, k.entries(), 1.0, 0};
+  EXPECT_TRUE(cmf.empty());
+}
+
+TEST(Cmf, EmptyOnDegenerateAverage) {
+  auto const k = make_knowledge({{1, 0.0}});
+  Cmf const cmf{CmfKind::original, k.entries(), 0.0, 0};
+  EXPECT_TRUE(cmf.empty());
+}
+
+TEST(Cmf, SamplingFrequenciesTrackProbabilities) {
+  auto const k = make_knowledge({{1, 0.0}, {2, 0.5}, {3, 0.9}});
+  Cmf const cmf{CmfKind::original, k.entries(), 1.0, 0};
+  ASSERT_EQ(cmf.size(), 3u);
+  Rng rng{77};
+  std::map<RankId, int> counts;
+  constexpr int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[cmf.sample(rng)];
+  }
+  for (std::size_t i = 0; i < cmf.size(); ++i) {
+    double const expected = cmf.probability(i) * n;
+    double const observed = counts[cmf.rank_at(i)];
+    EXPECT_NEAR(observed, expected, 5.0 * std::sqrt(expected) + 30.0)
+        << "rank " << cmf.rank_at(i);
+  }
+}
+
+TEST(Cmf, SampleIsDeterministicGivenSeed) {
+  auto const k = make_knowledge({{1, 0.1}, {2, 0.2}, {3, 0.7}});
+  Cmf const cmf{CmfKind::modified, k.entries(), 1.0, 0};
+  Rng r1{5};
+  Rng r2{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cmf.sample(r1), cmf.sample(r2));
+  }
+}
+
+TEST(Cmf, ProbabilitiesSumToOne) {
+  auto const k =
+      make_knowledge({{1, 0.3}, {2, 0.6}, {3, 0.1}, {4, 0.95}});
+  for (auto const kind : {CmfKind::original, CmfKind::modified}) {
+    Cmf const cmf{kind, k.entries(), 1.0, 0};
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cmf.size(); ++i) {
+      sum += cmf.probability(i);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(CmfDeath, SampleFromEmptyAborts) {
+  Knowledge const k;
+  Cmf const cmf{CmfKind::original, k.entries(), 1.0, 0};
+  Rng rng{1};
+  EXPECT_DEATH((void)cmf.sample(rng), "precondition");
+}
+
+} // namespace
+} // namespace tlb::lb

@@ -1,0 +1,145 @@
+#include "lb/criterion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+TEST(Criterion, OriginalAcceptsOnlyBelowAverage) {
+  // l_x + load < l_ave
+  EXPECT_TRUE(evaluate_criterion(CriterionKind::original, 0.2, 0.3, 1.0, 2.0));
+  EXPECT_FALSE(
+      evaluate_criterion(CriterionKind::original, 0.8, 0.3, 1.0, 2.0));
+  // Boundary: equality rejects.
+  EXPECT_FALSE(
+      evaluate_criterion(CriterionKind::original, 0.7, 0.3, 1.0, 2.0));
+}
+
+TEST(Criterion, RelaxedAcceptsWhileSenderStaysHeavier) {
+  // load < l_p - l_x, i.e. recipient ends strictly below sender's start.
+  EXPECT_TRUE(evaluate_criterion(CriterionKind::relaxed, 0.9, 0.5, 1.0, 2.0));
+  EXPECT_FALSE(evaluate_criterion(CriterionKind::relaxed, 1.8, 0.5, 1.0, 2.0));
+  // Boundary: equality rejects (Lemma 2's >= case).
+  EXPECT_FALSE(evaluate_criterion(CriterionKind::relaxed, 1.5, 0.5, 1.0, 2.0));
+}
+
+TEST(Criterion, RelaxedIsStrictlyWeakerThanOriginal) {
+  // Any transfer the original accepts, the relaxed must also accept,
+  // whenever the sender is overloaded (l_p > l_ave).
+  Rng rng{404};
+  for (int i = 0; i < 20000; ++i) {
+    double const l_ave = rng.uniform(0.5, 2.0);
+    double const l_p = l_ave * rng.uniform(1.0, 4.0); // overloaded sender
+    double const l_x = rng.uniform(0.0, 3.0);
+    double const load = rng.uniform(0.0, 2.0);
+    if (evaluate_criterion(CriterionKind::original, l_x, load, l_ave, l_p)) {
+      EXPECT_TRUE(
+          evaluate_criterion(CriterionKind::relaxed, l_x, load, l_ave, l_p))
+          << "l_ave=" << l_ave << " l_p=" << l_p << " l_x=" << l_x
+          << " load=" << load;
+    }
+  }
+}
+
+TEST(Criterion, RelaxedAllowsRecipientAboveAverage) {
+  // The defining difference (§V-C): the recipient may land in overloaded
+  // territory as long as it stays below the sender's pre-transfer load.
+  double const l_ave = 1.0;
+  double const l_p = 3.0;
+  double const l_x = 0.9;
+  double const load = 1.5; // recipient ends at 2.4 > l_ave
+  EXPECT_FALSE(evaluate_criterion(CriterionKind::original, l_x, load, l_ave,
+                                  l_p));
+  EXPECT_TRUE(
+      evaluate_criterion(CriterionKind::relaxed, l_x, load, l_ave, l_p));
+}
+
+// ---------------------------------------------------------------------
+// Property tests for the paper's Lemmas (Appendix A / B).
+// ---------------------------------------------------------------------
+
+struct TwoRankCase {
+  double l_i;  // sender (overloaded) load
+  double l_x;  // recipient load
+  double load; // task load
+};
+
+class LemmaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Lemma 1: if LOAD(o) < l_i − l_x then max(l_i − load, l_x + load) < l_i,
+/// hence moving o can never increase the global maximum — F(D') <= F(D),
+/// and strictly decreases when the sender was the unique maximum.
+TEST_P(LemmaSweep, LemmaOneTransferNeverRaisesPairMax) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 5000; ++i) {
+    double const l_x = rng.uniform(0.0, 2.0);
+    double const l_i = l_x + rng.uniform(0.01, 3.0); // sender heavier
+    // Draw a load satisfying the relaxed criterion.
+    double const load = rng.uniform(0.0, 1.0) * (l_i - l_x) * 0.999;
+    ASSERT_TRUE(evaluate_criterion(CriterionKind::relaxed, l_x, load, 1.0,
+                                   l_i));
+    double const new_max = std::max(l_i - load, l_x + load);
+    EXPECT_LT(new_max, l_i);
+  }
+}
+
+/// Lemma 2: if LOAD(o) >= l_i − l_x and the sender holds the maximum load,
+/// the transfer cannot decrease the objective (recipient reaches at least
+/// the old maximum).
+TEST_P(LemmaSweep, LemmaTwoViolatingTransferNeverHelps) {
+  Rng rng{GetParam() + 1000};
+  for (int i = 0; i < 5000; ++i) {
+    double const l_x = rng.uniform(0.0, 2.0);
+    double const l_i = l_x + rng.uniform(0.01, 3.0);
+    double const load = (l_i - l_x) * rng.uniform(1.0, 2.0);
+    ASSERT_FALSE(evaluate_criterion(CriterionKind::relaxed, l_x, load, 1.0,
+                                    l_i));
+    double const new_max = std::max(l_i - load, l_x + load);
+    EXPECT_GE(new_max, l_i - 1e-12);
+  }
+}
+
+/// Full-distribution variant of Lemma 1: applying any sequence of
+/// relaxed-criterion transfers to a random load vector never increases
+/// the max load (hence never increases I, since the average is invariant).
+TEST_P(LemmaSweep, MaxLoadMonotoneUnderRelaxedTransfers) {
+  Rng rng{GetParam() + 2000};
+  std::vector<LoadType> loads;
+  for (int r = 0; r < 16; ++r) {
+    loads.push_back(rng.uniform(0.0, 4.0));
+  }
+  double const l_ave =
+      summarize(loads).mean; // invariant under transfers
+  double max_load = summarize(loads).max;
+
+  for (int step = 0; step < 200; ++step) {
+    auto const i = rng.index(loads.size());
+    auto const x = rng.index(loads.size());
+    if (i == x) {
+      continue;
+    }
+    double const task = rng.uniform(0.0, 1.5);
+    if (loads[i] >= task &&
+        evaluate_criterion(CriterionKind::relaxed, loads[x], task, l_ave,
+                           loads[i])) {
+      loads[i] -= task;
+      loads[x] += task;
+      double const new_max = summarize(loads).max;
+      EXPECT_LE(new_max, max_load + 1e-9);
+      max_load = new_max;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+} // namespace
+} // namespace tlb::lb

@@ -1,0 +1,121 @@
+#include "lb/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlb::lb {
+namespace {
+
+TEST(Knowledge, InsertAndLookup) {
+  Knowledge k;
+  EXPECT_TRUE(k.empty());
+  k.insert(3, 1.5);
+  k.insert(1, 0.5);
+  k.insert(2, 1.0);
+  EXPECT_EQ(k.size(), 3u);
+  EXPECT_TRUE(k.contains(1));
+  EXPECT_TRUE(k.contains(2));
+  EXPECT_TRUE(k.contains(3));
+  EXPECT_FALSE(k.contains(0));
+  EXPECT_DOUBLE_EQ(k.load_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(k.load_of(3), 1.5);
+}
+
+TEST(Knowledge, EntriesSortedByRank) {
+  Knowledge k;
+  k.insert(9, 1.0);
+  k.insert(2, 2.0);
+  k.insert(5, 3.0);
+  auto const e = k.entries();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].rank, 2);
+  EXPECT_EQ(e[1].rank, 5);
+  EXPECT_EQ(e[2].rank, 9);
+}
+
+TEST(Knowledge, InsertOverwritesExisting) {
+  Knowledge k;
+  k.insert(4, 1.0);
+  k.insert(4, 2.0);
+  EXPECT_EQ(k.size(), 1u);
+  EXPECT_DOUBLE_EQ(k.load_of(4), 2.0);
+}
+
+TEST(Knowledge, MergeKeepsLocalLoadOnConflict) {
+  Knowledge mine;
+  mine.insert(1, 5.0); // locally updated (e.g. speculative transfer)
+  Knowledge incoming;
+  incoming.insert(1, 2.0); // stale gossiped value
+  incoming.insert(2, 3.0); // new rank
+  mine.merge(incoming);
+  EXPECT_EQ(mine.size(), 2u);
+  EXPECT_DOUBLE_EQ(mine.load_of(1), 5.0); // local wins
+  EXPECT_DOUBLE_EQ(mine.load_of(2), 3.0);
+}
+
+TEST(Knowledge, MergeDisjointSets) {
+  Knowledge a;
+  a.insert(0, 1.0);
+  a.insert(4, 2.0);
+  Knowledge b;
+  b.insert(2, 3.0);
+  b.insert(6, 4.0);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 4u);
+  auto const e = a.entries();
+  EXPECT_EQ(e[0].rank, 0);
+  EXPECT_EQ(e[1].rank, 2);
+  EXPECT_EQ(e[2].rank, 4);
+  EXPECT_EQ(e[3].rank, 6);
+}
+
+TEST(Knowledge, MergeWithEmpty) {
+  Knowledge a;
+  a.insert(1, 1.0);
+  Knowledge const empty;
+  a.merge(empty);
+  EXPECT_EQ(a.size(), 1u);
+
+  Knowledge b;
+  b.merge(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.load_of(1), 1.0);
+}
+
+TEST(Knowledge, AddLoadAccumulates) {
+  Knowledge k;
+  k.insert(2, 1.0);
+  k.add_load(2, 0.5);
+  k.add_load(2, 0.25);
+  EXPECT_DOUBLE_EQ(k.load_of(2), 1.75);
+}
+
+TEST(Knowledge, ClearEmpties) {
+  Knowledge k;
+  k.insert(1, 1.0);
+  k.clear();
+  EXPECT_TRUE(k.empty());
+  EXPECT_FALSE(k.contains(1));
+}
+
+TEST(Knowledge, WireBytesScalesWithEntries) {
+  Knowledge k;
+  EXPECT_EQ(k.wire_bytes(), 0u);
+  k.insert(1, 1.0);
+  auto const one = k.wire_bytes();
+  k.insert(2, 2.0);
+  EXPECT_EQ(k.wire_bytes(), 2 * one);
+}
+
+TEST(KnowledgeDeath, LoadOfUnknownRankAborts) {
+  Knowledge k;
+  k.insert(1, 1.0);
+  EXPECT_DEATH((void)k.load_of(9), "precondition");
+}
+
+TEST(KnowledgeDeath, AddLoadUnknownRankAborts) {
+  Knowledge k;
+  EXPECT_DEATH(k.add_load(0, 1.0), "precondition");
+}
+
+} // namespace
+} // namespace tlb::lb

@@ -1,0 +1,71 @@
+#include "lb/lb_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlb::lb {
+namespace {
+
+TEST(LbParams, GrapevinePresetMatchesPaperDesignPoint) {
+  auto const p = LbParams::grapevine();
+  EXPECT_EQ(p.criterion, CriterionKind::original);
+  EXPECT_EQ(p.cmf, CmfKind::original);
+  EXPECT_EQ(p.refresh, CmfRefresh::build_once);
+  EXPECT_EQ(p.order, OrderKind::arbitrary);
+  EXPECT_EQ(p.num_iterations, 1);
+  EXPECT_EQ(p.num_trials, 1);
+  EXPECT_FALSE(p.use_nacks);
+  EXPECT_EQ(p.max_knowledge, 0);
+}
+
+TEST(LbParams, TemperedPresetMatchesPaperConfiguration) {
+  auto const p = LbParams::tempered();
+  EXPECT_EQ(p.criterion, CriterionKind::relaxed);
+  EXPECT_EQ(p.cmf, CmfKind::modified);
+  EXPECT_EQ(p.refresh, CmfRefresh::recompute);
+  EXPECT_EQ(p.order, OrderKind::fewest_migrations);
+  // §VI-B: "the number of trials (10) and iterations (8) we utilize".
+  EXPECT_EQ(p.num_trials, 10);
+  EXPECT_EQ(p.num_iterations, 8);
+  EXPECT_EQ(p.fanout, 6);
+  EXPECT_DOUBLE_EQ(p.threshold, 1.0);
+}
+
+TEST(LbTypes, ToStringNames) {
+  EXPECT_EQ(to_string(CmfKind::original), "original");
+  EXPECT_EQ(to_string(CmfKind::modified), "modified");
+  EXPECT_EQ(to_string(CmfRefresh::build_once), "build_once");
+  EXPECT_EQ(to_string(CmfRefresh::recompute), "recompute");
+  EXPECT_EQ(to_string(CriterionKind::original), "original");
+  EXPECT_EQ(to_string(CriterionKind::relaxed), "relaxed");
+  EXPECT_EQ(to_string(OrderKind::arbitrary), "arbitrary");
+  EXPECT_EQ(to_string(OrderKind::load_intensive), "load_intensive");
+  EXPECT_EQ(to_string(OrderKind::fewest_migrations), "fewest_migrations");
+  EXPECT_EQ(to_string(OrderKind::lightest), "lightest");
+}
+
+TEST(LbTypes, OrderFromStringRoundTrips) {
+  for (auto const kind :
+       {OrderKind::arbitrary, OrderKind::load_intensive,
+        OrderKind::fewest_migrations, OrderKind::lightest}) {
+    EXPECT_EQ(order_from_string(to_string(kind)), kind);
+  }
+}
+
+TEST(LbTypes, OrderFromStringRejectsUnknown) {
+  EXPECT_THROW((void)order_from_string("heaviest"), std::invalid_argument);
+  EXPECT_THROW((void)order_from_string(""), std::invalid_argument);
+}
+
+TEST(Migration, EqualityAndDefaults) {
+  Migration const a{1, 0, 2, 1.5};
+  Migration const b{1, 0, 2, 1.5};
+  Migration const c{1, 0, 3, 1.5};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  Migration const d;
+  EXPECT_EQ(d.task, invalid_task);
+  EXPECT_EQ(d.from, invalid_rank);
+}
+
+} // namespace
+} // namespace tlb::lb

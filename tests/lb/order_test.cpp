@@ -1,0 +1,173 @@
+#include "lb/order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace tlb::lb {
+namespace {
+
+std::vector<TaskEntry> make_tasks(std::initializer_list<double> loads) {
+  std::vector<TaskEntry> out;
+  TaskId id = 0;
+  for (double const l : loads) {
+    out.push_back({id++, l});
+  }
+  return out;
+}
+
+bool is_permutation_of(std::vector<TaskEntry> const& a,
+                       std::vector<TaskEntry> const& b) {
+  auto ai = a;
+  auto bi = b;
+  auto const by_id = [](TaskEntry const& x, TaskEntry const& y) {
+    return x.id < y.id;
+  };
+  std::sort(ai.begin(), ai.end(), by_id);
+  std::sort(bi.begin(), bi.end(), by_id);
+  return ai == bi;
+}
+
+TEST(OrderArbitrary, SortsById) {
+  std::vector<TaskEntry> tasks{{3, 1.0}, {1, 5.0}, {2, 3.0}};
+  auto const out = order_tasks(OrderKind::arbitrary, tasks, 1.0, 9.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 1);
+  EXPECT_EQ(out[1].id, 2);
+  EXPECT_EQ(out[2].id, 3);
+}
+
+TEST(OrderLoadIntensive, DescendingByLoad) {
+  auto const tasks = make_tasks({1.0, 5.0, 3.0, 2.0});
+  auto const out = order_load_intensive(tasks);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0].load, 5.0);
+  EXPECT_DOUBLE_EQ(out[1].load, 3.0);
+  EXPECT_DOUBLE_EQ(out[2].load, 2.0);
+  EXPECT_DOUBLE_EQ(out[3].load, 1.0);
+}
+
+TEST(OrderLoadIntensive, TiesBrokenById) {
+  std::vector<TaskEntry> const tasks{{5, 2.0}, {1, 2.0}, {3, 2.0}};
+  auto const out = order_load_intensive(tasks);
+  EXPECT_EQ(out[0].id, 1);
+  EXPECT_EQ(out[1].id, 3);
+  EXPECT_EQ(out[2].id, 5);
+}
+
+// Algorithm 5 worked example: l_p = 10, l_ave = 6 -> excess = 4.
+// Task loads {1, 2, 3, 5, 7}. Cutoff = min load > 4 = 5.
+// Order: <=5 descending (5, 3, 2, 1), then >5 ascending (7).
+TEST(OrderFewestMigrations, PaperSemantics) {
+  auto const tasks = make_tasks({1.0, 2.0, 3.0, 5.0, 7.0});
+  auto const out = order_fewest_migrations(tasks, 6.0, 10.0);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0].load, 5.0); // cutoff task first
+  EXPECT_DOUBLE_EQ(out[1].load, 3.0);
+  EXPECT_DOUBLE_EQ(out[2].load, 2.0);
+  EXPECT_DOUBLE_EQ(out[3].load, 1.0);
+  EXPECT_DOUBLE_EQ(out[4].load, 7.0);
+}
+
+TEST(OrderFewestMigrations, FirstTaskResolvesOverloadWhenPossible) {
+  // Excess = 2.5; the smallest task > 2.5 is 3.0 and must come first.
+  auto const tasks = make_tasks({0.5, 3.0, 4.0, 1.0});
+  auto const out = order_fewest_migrations(tasks, 1.0, 3.5);
+  EXPECT_DOUBLE_EQ(out[0].load, 3.0);
+}
+
+TEST(OrderFewestMigrations, FallsBackToDescendingWhenNoSingleTaskCovers) {
+  // Excess = 10; max task 4 < 10 -> Algorithm 5 line 3 path.
+  auto const tasks = make_tasks({1.0, 4.0, 2.0});
+  auto const out = order_fewest_migrations(tasks, 1.0, 11.0);
+  EXPECT_DOUBLE_EQ(out[0].load, 4.0);
+  EXPECT_DOUBLE_EQ(out[1].load, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].load, 1.0);
+}
+
+// Algorithm 6 worked example: l_p = 10, l_ave = 6 -> excess = 4.
+// Ascending {1, 2, 3, 5, 7}; prefix sums 1, 3, 6 -> marginal task = 3.
+// Order: <=3 descending (3, 2, 1), then >3 ascending (5, 7).
+TEST(OrderLightest, PaperSemantics) {
+  auto const tasks = make_tasks({1.0, 2.0, 3.0, 5.0, 7.0});
+  auto const out = order_lightest(tasks, 6.0, 10.0);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0].load, 3.0); // marginal task first
+  EXPECT_DOUBLE_EQ(out[1].load, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].load, 1.0);
+  EXPECT_DOUBLE_EQ(out[3].load, 5.0);
+  EXPECT_DOUBLE_EQ(out[4].load, 7.0);
+}
+
+TEST(OrderLightest, WholeSumBelowExcessMakesHeaviestMarginal) {
+  // Excess = 100 > total load -> marginal = heaviest -> all descending.
+  auto const tasks = make_tasks({1.0, 4.0, 2.0});
+  auto const out = order_lightest(tasks, 1.0, 101.0);
+  EXPECT_DOUBLE_EQ(out[0].load, 4.0);
+  EXPECT_DOUBLE_EQ(out[1].load, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].load, 1.0);
+}
+
+TEST(OrderLightest, NotOverloadedMakesLightestMarginal) {
+  // l_p <= l_ave -> excess <= 0 -> first (lightest) task is marginal.
+  auto const tasks = make_tasks({3.0, 1.0, 2.0});
+  auto const out = order_lightest(tasks, 10.0, 6.0);
+  EXPECT_DOUBLE_EQ(out[0].load, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].load, 2.0);
+  EXPECT_DOUBLE_EQ(out[2].load, 3.0);
+}
+
+TEST(OrderAll, EmptyInputYieldsEmpty) {
+  for (auto const kind :
+       {OrderKind::arbitrary, OrderKind::load_intensive,
+        OrderKind::fewest_migrations, OrderKind::lightest}) {
+    EXPECT_TRUE(order_tasks(kind, {}, 1.0, 2.0).empty());
+  }
+}
+
+class OrderProperty
+    : public ::testing::TestWithParam<std::tuple<OrderKind, std::uint64_t>> {
+};
+
+TEST_P(OrderProperty, OutputIsPermutationOfInput) {
+  auto const [kind, seed] = GetParam();
+  Rng rng{seed};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TaskEntry> tasks;
+    auto const n = 1 + rng.index(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks.push_back({static_cast<TaskId>(i), rng.uniform(0.01, 5.0)});
+    }
+    double const l_p = std::accumulate(
+        tasks.begin(), tasks.end(), 0.0,
+        [](double acc, TaskEntry const& t) { return acc + t.load; });
+    double const l_ave = l_p * rng.uniform(0.2, 1.2);
+    auto const out = order_tasks(kind, tasks, l_ave, l_p);
+    EXPECT_TRUE(is_permutation_of(tasks, out));
+  }
+}
+
+TEST_P(OrderProperty, DeterministicAcrossCalls) {
+  auto const [kind, seed] = GetParam();
+  Rng rng{seed + 7};
+  std::vector<TaskEntry> tasks;
+  for (std::size_t i = 0; i < 30; ++i) {
+    tasks.push_back({static_cast<TaskId>(i), rng.uniform(0.01, 5.0)});
+  }
+  auto const a = order_tasks(kind, tasks, 3.0, 9.0);
+  auto const b = order_tasks(kind, tasks, 3.0, 9.0);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrderProperty,
+    ::testing::Combine(
+        ::testing::Values(OrderKind::arbitrary, OrderKind::load_intensive,
+                          OrderKind::fewest_migrations, OrderKind::lightest),
+        ::testing::Values(11u, 22u, 33u)));
+
+} // namespace
+} // namespace tlb::lb

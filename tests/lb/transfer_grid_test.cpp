@@ -1,0 +1,136 @@
+/// Exhaustive variant-grid property tests of the transfer stage: every
+/// (criterion x CMF x refresh x ordering) combination must satisfy the
+/// same structural invariants on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "lb/transfer.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::lb {
+namespace {
+
+using GridParam =
+    std::tuple<CriterionKind, CmfKind, CmfRefresh, OrderKind, std::uint64_t>;
+
+class TransferGrid : public ::testing::TestWithParam<GridParam> {
+protected:
+  [[nodiscard]] LbParams params() const {
+    auto const [criterion, cmf, refresh, order, seed] = GetParam();
+    LbParams p;
+    p.criterion = criterion;
+    p.cmf = cmf;
+    p.refresh = refresh;
+    p.order = order;
+    p.seed = seed;
+    p.num_trials = 1;
+    p.num_iterations = 1;
+    return p;
+  }
+};
+
+TEST_P(TransferGrid, StructuralInvariants) {
+  auto const p = params();
+  Rng workload_rng{std::get<4>(GetParam()) * 7919 + 13};
+
+  for (int instance = 0; instance < 20; ++instance) {
+    // Random overloaded rank state.
+    std::vector<TaskEntry> tasks;
+    auto const n = 1 + workload_rng.index(60);
+    double l_p = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double const load = workload_rng.uniform(0.05, 2.0);
+      tasks.push_back({static_cast<TaskId>(i), load});
+      l_p += load;
+    }
+    double const l_ave = l_p / workload_rng.uniform(2.0, 16.0);
+    Knowledge knowledge;
+    auto const peers = 1 + workload_rng.index(20);
+    for (std::size_t i = 0; i < peers; ++i) {
+      knowledge.insert(static_cast<RankId>(i + 1),
+                       workload_rng.uniform(0.0, 1.5 * l_ave));
+    }
+    auto const knowledge_before = knowledge;
+
+    Rng rng{std::get<4>(GetParam()) + static_cast<std::uint64_t>(instance)};
+    auto const result =
+        run_transfer(p, /*self=*/0, tasks, l_p, l_ave, knowledge, rng);
+
+    // (1) Every candidate attempt is classified exactly once.
+    EXPECT_LE(result.accepted + result.rejected + result.no_target,
+              tasks.size());
+    EXPECT_EQ(result.accepted, result.migrations.size());
+
+    // (2) Load bookkeeping: final load = initial − migrated sum.
+    double migrated = 0.0;
+    std::set<TaskId> seen;
+    for (Migration const& m : result.migrations) {
+      migrated += m.load;
+      EXPECT_EQ(m.from, 0);
+      EXPECT_NE(m.to, 0);
+      EXPECT_TRUE(knowledge_before.contains(m.to));
+      EXPECT_TRUE(seen.insert(m.task).second) << "task proposed twice";
+    }
+    EXPECT_NEAR(result.final_load, l_p - migrated, 1e-9);
+    EXPECT_GE(result.final_load, -1e-9);
+
+    // (3) Knowledge updated by exactly the accepted loads.
+    for (auto const& e : knowledge_before.entries()) {
+      double delta = 0.0;
+      for (Migration const& m : result.migrations) {
+        if (m.to == e.rank) {
+          delta += m.load;
+        }
+      }
+      EXPECT_NEAR(knowledge.load_of(e.rank), e.load + delta, 1e-9);
+    }
+
+    // (4) The transfer loop stops at the threshold when it can: if any
+    // proposals were made, either the rank is no longer overloaded or
+    // every candidate was tried.
+    if (result.final_load > p.threshold * l_ave) {
+      EXPECT_EQ(result.accepted + result.rejected + result.no_target,
+                tasks.size());
+    }
+  }
+}
+
+TEST_P(TransferGrid, DeterministicGivenSeed) {
+  auto const p = params();
+  std::vector<TaskEntry> tasks;
+  Rng workload_rng{99};
+  double l_p = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    double const load = workload_rng.uniform(0.1, 1.5);
+    tasks.push_back({static_cast<TaskId>(i), load});
+    l_p += load;
+  }
+  double const l_ave = l_p / 6.0;
+  Knowledge k1;
+  for (int i = 1; i <= 8; ++i) {
+    k1.insert(static_cast<RankId>(i), workload_rng.uniform(0.0, l_ave));
+  }
+  auto k2 = k1;
+  Rng r1{std::get<4>(GetParam())};
+  Rng r2{std::get<4>(GetParam())};
+  auto const a = run_transfer(p, 0, tasks, l_p, l_ave, k1, r1);
+  auto const b = run_transfer(p, 0, tasks, l_p, l_ave, k2, r2);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.rejected, b.rejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TransferGrid,
+    ::testing::Combine(
+        ::testing::Values(CriterionKind::original, CriterionKind::relaxed),
+        ::testing::Values(CmfKind::original, CmfKind::modified),
+        ::testing::Values(CmfRefresh::build_once, CmfRefresh::recompute),
+        ::testing::Values(OrderKind::arbitrary, OrderKind::load_intensive,
+                          OrderKind::fewest_migrations, OrderKind::lightest),
+        ::testing::Values(7u, 77u)));
+
+} // namespace
+} // namespace tlb::lb

@@ -1,0 +1,84 @@
+#include "lbaf/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlb::lbaf {
+namespace {
+
+Workload small_workload() {
+  Workload w;
+  w.num_ranks = 4;
+  w.tasks = {{0, 1.0}, {1, 2.0}, {2, 3.0}, {3, 4.0}};
+  w.initial_rank = {0, 0, 1, 1};
+  return w;
+}
+
+TEST(Assignment, InitialStateFromWorkload) {
+  Assignment const a{small_workload()};
+  EXPECT_EQ(a.num_ranks(), 4);
+  EXPECT_EQ(a.num_tasks(), 4u);
+  EXPECT_DOUBLE_EQ(a.load_of_rank(0), 3.0);
+  EXPECT_DOUBLE_EQ(a.load_of_rank(1), 7.0);
+  EXPECT_DOUBLE_EQ(a.load_of_rank(2), 0.0);
+  EXPECT_DOUBLE_EQ(a.total_load(), 10.0);
+  EXPECT_DOUBLE_EQ(a.average_load(), 2.5);
+  EXPECT_DOUBLE_EQ(a.max_load(), 7.0);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 7.0 / 2.5 - 1.0);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Assignment, TasksOfReturnsEntries) {
+  Assignment const a{small_workload()};
+  auto const tasks = a.tasks_of(1);
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].id, 2);
+  EXPECT_DOUBLE_EQ(tasks[0].load, 3.0);
+}
+
+TEST(Assignment, ApplyMovesTaskAndLoad) {
+  Assignment a{small_workload()};
+  a.apply(Migration{3, 1, 2, 4.0});
+  EXPECT_EQ(a.rank_of(3), 2);
+  EXPECT_DOUBLE_EQ(a.load_of_rank(1), 3.0);
+  EXPECT_DOUBLE_EQ(a.load_of_rank(2), 4.0);
+  EXPECT_DOUBLE_EQ(a.total_load(), 10.0); // conserved
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Assignment, ApplySelfMigrationIsNoop) {
+  Assignment a{small_workload()};
+  a.apply(Migration{0, 0, 0, 1.0});
+  EXPECT_EQ(a.rank_of(0), 0);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Assignment, BatchApplyConservesLoad) {
+  Assignment a{small_workload()};
+  std::vector<Migration> const batch{{0, 0, 3, 1.0}, {2, 1, 0, 3.0}};
+  a.apply(batch);
+  EXPECT_DOUBLE_EQ(a.total_load(), 10.0);
+  EXPECT_EQ(a.rank_of(0), 3);
+  EXPECT_EQ(a.rank_of(2), 0);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Assignment, ImbalanceImprovesWithSpreading) {
+  Assignment a{small_workload()};
+  double const before = a.imbalance();
+  a.apply(Migration{3, 1, 2, 4.0});
+  a.apply(Migration{1, 0, 3, 2.0});
+  EXPECT_LT(a.imbalance(), before);
+}
+
+TEST(AssignmentDeath, ApplyWithWrongFromAborts) {
+  Assignment a{small_workload()};
+  EXPECT_DEATH(a.apply(Migration{0, 2, 1, 1.0}), "precondition");
+}
+
+TEST(AssignmentDeath, ApplyToInvalidRankAborts) {
+  Assignment a{small_workload()};
+  EXPECT_DEATH(a.apply(Migration{0, 0, 9, 1.0}), "precondition");
+}
+
+} // namespace
+} // namespace tlb::lbaf

@@ -1,0 +1,98 @@
+#include "lbaf/greedy_ref.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlb::lbaf {
+namespace {
+
+TEST(GreedyRef, PerfectlyDivisibleReachesZeroImbalance) {
+  Workload w;
+  w.num_ranks = 4;
+  for (int i = 0; i < 8; ++i) {
+    w.tasks.push_back({static_cast<TaskId>(i), 1.0});
+    w.initial_rank.push_back(0);
+  }
+  Assignment a{w};
+  EXPECT_DOUBLE_EQ(a.imbalance(), 3.0);
+  auto const migrations = greedy_rebalance(a);
+  a.apply(migrations);
+  EXPECT_NEAR(a.imbalance(), 0.0, 1e-12);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(GreedyRef, LptFourThirdsBound) {
+  // LPT makespan <= (4/3 - 1/(3m)) * OPT. With total load W on m ranks,
+  // OPT >= max(W/m, max task). Verify the bound on random instances.
+  Rng rng{55};
+  for (int trial = 0; trial < 30; ++trial) {
+    Workload w;
+    w.num_ranks = 8;
+    double total = 0.0;
+    double max_task = 0.0;
+    auto const n = 20 + rng.index(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      double const load = rng.uniform(0.1, 3.0);
+      w.tasks.push_back({static_cast<TaskId>(i), load});
+      w.initial_rank.push_back(
+          static_cast<RankId>(rng.uniform_below(8)));
+      total += load;
+      max_task = std::max(max_task, load);
+    }
+    Assignment a{w};
+    a.apply(greedy_rebalance(a));
+    double const opt_lower = std::max(total / 8.0, max_task);
+    double const bound = (4.0 / 3.0 - 1.0 / 24.0) * opt_lower;
+    EXPECT_LE(a.max_load(), bound + 1e-9);
+  }
+}
+
+TEST(GreedyRef, NoMigrationForAlreadyOptimalSingleRank) {
+  Workload w;
+  w.num_ranks = 1;
+  w.tasks = {{0, 1.0}, {1, 2.0}};
+  w.initial_rank = {0, 0};
+  Assignment const a{w};
+  auto const migrations = greedy_rebalance(a);
+  EXPECT_TRUE(migrations.empty());
+}
+
+TEST(GreedyRef, MigrationsOnlyListMovedTasks) {
+  Workload w;
+  w.num_ranks = 2;
+  w.tasks = {{0, 5.0}, {1, 1.0}};
+  w.initial_rank = {0, 1};
+  // LPT places task 0 (load 5) on rank 0 and task 1 on rank 1 (or the
+  // reverse rank labels); either way the assignment is already balanced
+  // up to labeling, so at most both tasks move, never one redundantly.
+  Assignment a{w};
+  auto const migrations = greedy_rebalance(a);
+  a.apply(migrations);
+  EXPECT_TRUE(a.validate());
+  EXPECT_DOUBLE_EQ(a.max_load(), 5.0);
+}
+
+TEST(GreedyRef, ImbalanceHelperMatchesManualApplication) {
+  auto const w =
+      make_clustered(16, 2, 300, LoadDistribution::uniform, 1.0, 77);
+  Assignment a{w};
+  double const helper = greedy_imbalance(a);
+  auto const migrations = greedy_rebalance(a);
+  a.apply(migrations);
+  EXPECT_DOUBLE_EQ(helper, a.imbalance());
+}
+
+TEST(GreedyRef, DeterministicTieBreaking) {
+  Workload w;
+  w.num_ranks = 3;
+  for (int i = 0; i < 9; ++i) {
+    w.tasks.push_back({static_cast<TaskId>(i), 2.0}); // all ties
+    w.initial_rank.push_back(0);
+  }
+  Assignment const a{w};
+  auto const m1 = greedy_rebalance(a);
+  auto const m2 = greedy_rebalance(a);
+  EXPECT_EQ(m1, m2);
+}
+
+} // namespace
+} // namespace tlb::lbaf

@@ -1,0 +1,97 @@
+/// Tests for bounded-knowledge gossip (paper footnote 2) through the
+/// sequential analysis framework.
+
+#include <gtest/gtest.h>
+
+#include "lbaf/experiment.hpp"
+#include "lbaf/gossip_sim.hpp"
+
+namespace tlb::lbaf {
+namespace {
+
+TEST(GossipCap, KnowledgeSizeNeverExceedsCap) {
+  constexpr int p = 256;
+  std::vector<LoadType> loads(p, 0.0);
+  for (int i = 0; i < p; i += 2) {
+    loads[static_cast<std::size_t>(i)] = 2.0;
+  }
+  Rng rng{5};
+  auto const knowledge =
+      run_gossip(loads, 1.0, 6, 6, rng, nullptr, /*max_knowledge=*/8);
+  for (auto const& k : knowledge) {
+    EXPECT_LE(k.size(), 8u);
+  }
+}
+
+TEST(GossipCap, BytesBoundedByCap) {
+  constexpr int p = 512;
+  std::vector<LoadType> loads(p, 0.0);
+  for (int i = 0; i < p; i += 2) {
+    loads[static_cast<std::size_t>(i)] = 2.0;
+  }
+  GossipStats capped_stats;
+  GossipStats full_stats;
+  Rng r1{7};
+  Rng r2{7};
+  (void)run_gossip(loads, 1.0, 6, 6, r1, &capped_stats, 8);
+  (void)run_gossip(loads, 1.0, 6, 6, r2, &full_stats, 0);
+  EXPECT_LT(capped_stats.bytes, full_stats.bytes / 4);
+}
+
+TEST(GossipCap, ZeroCapMatchesUnlimited) {
+  constexpr int p = 128;
+  std::vector<LoadType> loads(p, 0.0);
+  for (int i = 0; i < p; i += 3) {
+    loads[static_cast<std::size_t>(i)] = 2.0;
+  }
+  Rng r1{9};
+  Rng r2{9};
+  auto const a = run_gossip(loads, 1.0, 4, 5, r1, nullptr, 0);
+  auto const b = run_gossip(loads, 1.0, 4, 5, r2, nullptr, 1 << 20);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size(), b[i].size());
+  }
+}
+
+TEST(ExperimentCap, CappedExperimentRunsAndImproves) {
+  auto const workload = make_gradient(256, 1500, 4.0,
+                                      LoadDistribution::gamma, 1.0, 13);
+  auto params = lb::LbParams::tempered();
+  params.rounds = 6;
+  params.num_trials = 1;
+  params.num_iterations = 6;
+  params.max_knowledge = 8;
+  auto const result = run_experiment(params, workload);
+  EXPECT_LT(result.best_imbalance, result.initial_imbalance);
+}
+
+TEST(ExperimentCap, DeterministicWithCap) {
+  auto const workload =
+      make_clustered(128, 4, 600, LoadDistribution::uniform, 1.0, 21);
+  auto params = lb::LbParams::tempered();
+  params.rounds = 5;
+  params.num_trials = 2;
+  params.num_iterations = 3;
+  params.max_knowledge = 6;
+  auto const a = run_experiment(params, workload);
+  auto const b = run_experiment(params, workload);
+  EXPECT_EQ(a.best_imbalance, b.best_imbalance);
+  EXPECT_EQ(a.best_migrations.size(), b.best_migrations.size());
+}
+
+TEST(ExperimentCap, UnlimitedNoWorseThanTightCap) {
+  auto const workload = make_gradient(256, 1500, 4.0,
+                                      LoadDistribution::gamma, 1.0, 29);
+  auto run_with = [&](int cap) {
+    auto params = lb::LbParams::tempered();
+    params.rounds = 6;
+    params.num_trials = 2;
+    params.num_iterations = 5;
+    params.max_knowledge = cap;
+    return run_experiment(params, workload).best_imbalance;
+  };
+  EXPECT_LE(run_with(0), run_with(2) + 0.25);
+}
+
+} // namespace
+} // namespace tlb::lbaf

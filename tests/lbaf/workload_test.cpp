@@ -1,0 +1,93 @@
+#include "lbaf/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tlb::lbaf {
+namespace {
+
+TEST(Workload, ClusteredPlacesOnlyOnLoadedRanks) {
+  auto const w = make_clustered(64, 4, 1000, LoadDistribution::constant, 1.0,
+                                /*seed=*/1);
+  EXPECT_EQ(w.num_ranks, 64);
+  ASSERT_EQ(w.tasks.size(), 1000u);
+  std::set<RankId> used;
+  for (RankId const r : w.initial_rank) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 4);
+    used.insert(r);
+  }
+  EXPECT_EQ(used.size(), 4u); // all loaded ranks hit with 1000 samples
+}
+
+TEST(Workload, ClusteredDeterministicPerSeed) {
+  auto const a =
+      make_clustered(32, 2, 100, LoadDistribution::gamma, 1.0, 9);
+  auto const b =
+      make_clustered(32, 2, 100, LoadDistribution::gamma, 1.0, 9);
+  EXPECT_EQ(a.initial_rank, b.initial_rank);
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].load, b.tasks[i].load);
+  }
+}
+
+TEST(Workload, TaskIdsAreSequential) {
+  auto const w =
+      make_scattered(8, 50, LoadDistribution::uniform, 1.0, 3);
+  for (std::size_t i = 0; i < w.tasks.size(); ++i) {
+    EXPECT_EQ(w.tasks[i].id, static_cast<TaskId>(i));
+  }
+}
+
+TEST(Workload, ScatteredUsesAllRanksEventually) {
+  auto const w =
+      make_scattered(16, 2000, LoadDistribution::constant, 1.0, 5);
+  std::set<RankId> used(w.initial_rank.begin(), w.initial_rank.end());
+  EXPECT_EQ(used.size(), 16u);
+}
+
+TEST(Workload, GradientSkewsTowardHighRanks) {
+  auto const w = make_gradient(10, 20000, /*slope=*/4.0,
+                               LoadDistribution::constant, 1.0, 7);
+  std::vector<int> counts(10, 0);
+  for (RankId const r : w.initial_rank) {
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  // Rank 9's weight is 5x rank 0's.
+  EXPECT_GT(counts[9], 3 * counts[0]);
+}
+
+TEST(Workload, TotalLoadMatchesSum) {
+  auto const w =
+      make_scattered(4, 100, LoadDistribution::constant, 2.0, 11);
+  EXPECT_NEAR(w.total_load(), 200.0, 1e-9);
+}
+
+TEST(DrawLoad, MeansApproximatelyScale) {
+  Rng rng{13};
+  for (auto const dist :
+       {LoadDistribution::constant, LoadDistribution::uniform,
+        LoadDistribution::gamma, LoadDistribution::lognormal}) {
+    double sum = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      double const l = draw_load(dist, 3.0, rng);
+      ASSERT_GE(l, 0.0);
+      sum += l;
+    }
+    EXPECT_NEAR(sum / n, 3.0, 0.2) << "dist " << static_cast<int>(dist);
+  }
+}
+
+TEST(WorkloadDeath, InvalidLoadedRanksAborts) {
+  EXPECT_DEATH(
+      make_clustered(4, 8, 10, LoadDistribution::constant, 1.0, 1),
+      "precondition");
+  EXPECT_DEATH(
+      make_clustered(4, 0, 10, LoadDistribution::constant, 1.0, 1),
+      "precondition");
+}
+
+} // namespace
+} // namespace tlb::lbaf

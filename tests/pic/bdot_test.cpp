@@ -1,0 +1,98 @@
+#include "pic/bdot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tlb::pic {
+namespace {
+
+TEST(BDot, InjectionRateGrowsLinearly) {
+  BDotConfig cfg;
+  cfg.base_rate = 100.0;
+  cfg.growth = 2.0;
+  BDotScenario const scenario{cfg};
+  EXPECT_EQ(scenario.count(0), 100);
+  EXPECT_EQ(scenario.count(10), 120);
+  EXPECT_EQ(scenario.count(100), 300);
+}
+
+TEST(BDot, CenterOrbitsWithinDomain) {
+  BDotConfig cfg;
+  cfg.total_steps = 100;
+  BDotScenario const scenario{cfg};
+  for (int step = 0; step <= 100; step += 5) {
+    auto const [cx, cy] = scenario.center(step, 200.0, 100.0);
+    EXPECT_GE(cx, 0.0);
+    EXPECT_LT(cx, 200.0);
+    EXPECT_GE(cy, 0.0);
+    EXPECT_LT(cy, 100.0);
+  }
+}
+
+TEST(BDot, CenterMovesOverTime) {
+  BDotConfig cfg;
+  cfg.total_steps = 100;
+  cfg.orbit_periods = 1.0;
+  BDotScenario const scenario{cfg};
+  auto const [x0, y0] = scenario.center(0, 100.0, 100.0);
+  auto const [x1, y1] = scenario.center(25, 100.0, 100.0);
+  double const dist = std::hypot(x1 - x0, y1 - y0);
+  EXPECT_GT(dist, 10.0); // quarter orbit with radius 30
+}
+
+TEST(BDot, DrawsClusterAroundCenter) {
+  BDotConfig cfg;
+  cfg.sigma_frac = 0.02;
+  cfg.total_steps = 100;
+  BDotScenario const scenario{cfg};
+  Rng rng{3};
+  auto const [cx, cy] = scenario.center(50, 100.0, 100.0);
+  double sum_dist = 0.0;
+  constexpr int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto const p = scenario.draw(50, 100.0, 100.0, rng);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 100.0);
+    sum_dist += std::hypot(p.x - cx, p.y - cy);
+  }
+  // Mean radial distance for a 2D Gaussian with sigma=2 is sigma*sqrt(pi/2).
+  EXPECT_NEAR(sum_dist / n, 2.0 * std::sqrt(3.14159265 / 2.0), 0.3);
+}
+
+TEST(BDot, DrawSpeedsWithinConfiguredRange) {
+  BDotConfig cfg;
+  cfg.speed_lo = 0.1;
+  cfg.speed_hi = 0.5;
+  cfg.total_steps = 10;
+  BDotScenario const scenario{cfg};
+  Rng rng{7};
+  for (int i = 0; i < 500; ++i) {
+    auto const p = scenario.draw(3, 50.0, 50.0, rng);
+    double const speed = std::hypot(p.vx, p.vy);
+    EXPECT_GE(speed, 0.1 - 1e-12);
+    EXPECT_LE(speed, 0.5 + 1e-12);
+  }
+}
+
+TEST(BDot, DeterministicGivenSeed) {
+  BDotScenario const scenario{BDotConfig{}};
+  Rng r1{9};
+  Rng r2{9};
+  for (int i = 0; i < 50; ++i) {
+    auto const a = scenario.draw(i, 100.0, 100.0, r1);
+    auto const b = scenario.draw(i, 100.0, 100.0, r2);
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.vy, b.vy);
+  }
+}
+
+TEST(BDotDeath, NegativeStepAborts) {
+  BDotScenario const scenario{BDotConfig{}};
+  EXPECT_DEATH((void)scenario.count(-1), "precondition");
+}
+
+} // namespace
+} // namespace tlb::pic

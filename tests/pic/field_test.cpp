@@ -1,0 +1,62 @@
+#include "pic/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlb::pic {
+namespace {
+
+TEST(Field, ZeroRhsStaysZero) {
+  FieldSolver solver{8, 8};
+  double const residual = solver.sweep(10);
+  EXPECT_NEAR(residual, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(solver.value(4, 4), 0.0);
+}
+
+TEST(Field, ResidualDecreasesWithIterations) {
+  FieldSolver a{16, 16};
+  FieldSolver b{16, 16};
+  a.set_rhs(8, 8, 1.0);
+  b.set_rhs(8, 8, 1.0);
+  double const r_few = a.sweep(5);
+  double const r_many = b.sweep(200);
+  EXPECT_LT(r_many, r_few);
+  EXPECT_GT(r_few, 0.0);
+}
+
+TEST(Field, PointSourceProducesPositivePeakAtSource) {
+  FieldSolver solver{16, 16};
+  solver.set_rhs(8, 8, 1.0);
+  (void)solver.sweep(500);
+  double const center = solver.value(8, 8);
+  EXPECT_GT(center, 0.0);
+  // Field decays away from the source.
+  EXPECT_GT(center, solver.value(2, 2));
+  EXPECT_GT(center, solver.value(14, 14));
+}
+
+TEST(Field, BoundaryStaysDirichletZero) {
+  FieldSolver solver{12, 12};
+  solver.set_rhs(6, 6, 5.0);
+  (void)solver.sweep(100);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(solver.value(i, 0), 0.0);
+    EXPECT_DOUBLE_EQ(solver.value(i, 11), 0.0);
+    EXPECT_DOUBLE_EQ(solver.value(0, i), 0.0);
+    EXPECT_DOUBLE_EQ(solver.value(11, i), 0.0);
+  }
+}
+
+TEST(Field, SymmetricProblemGivesSymmetricSolution) {
+  FieldSolver solver{17, 17};
+  solver.set_rhs(8, 8, 1.0);
+  (void)solver.sweep(300);
+  EXPECT_NEAR(solver.value(6, 8), solver.value(10, 8), 1e-9);
+  EXPECT_NEAR(solver.value(8, 6), solver.value(8, 10), 1e-9);
+}
+
+TEST(FieldDeath, TooSmallGridAborts) {
+  EXPECT_DEATH(FieldSolver(2, 8), "precondition");
+}
+
+} // namespace
+} // namespace tlb::pic

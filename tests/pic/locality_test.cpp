@@ -1,0 +1,100 @@
+/// Tests for the communication-locality metrics (the paper's future-work
+/// direction): cross-rank particle exchange counting and its interaction
+/// with migration-heavy strategies.
+
+#include <gtest/gtest.h>
+
+#include "pic/app.hpp"
+#include "pic/color_chunk.hpp"
+
+namespace tlb::pic {
+namespace {
+
+PicConfig locality_config(int steps = 40) {
+  PicConfig cfg;
+  cfg.mesh.ranks_x = 2;
+  cfg.mesh.ranks_y = 2;
+  cfg.mesh.colors_x = 3;
+  cfg.mesh.colors_y = 2;
+  cfg.steps = steps;
+  cfg.bdot.total_steps = steps;
+  cfg.bdot.base_rate = 80.0;
+  cfg.bdot.growth = 1.0;
+  cfg.bdot.orbit_periods = 0.2;
+  cfg.lb_period = 10;
+  cfg.lb_params.rounds = 4;
+  cfg.lb_params.num_trials = 2;
+  cfg.lb_params.num_iterations = 2;
+  return cfg;
+}
+
+TEST(Locality, RemoteNeverExceedsTotalExchange) {
+  auto cfg = locality_config();
+  PicApp app{cfg};
+  auto const result = app.run();
+  for (auto const& m : result.steps) {
+    EXPECT_LE(m.remote_exchanged, m.exchanged);
+  }
+  EXPECT_LE(result.totals.remote_exchanged, result.totals.exchanged);
+}
+
+TEST(Locality, TotalsAccumulateSteps) {
+  auto cfg = locality_config(20);
+  PicApp app{cfg};
+  auto const result = app.run();
+  std::size_t exchanged = 0;
+  std::size_t remote = 0;
+  for (auto const& m : result.steps) {
+    exchanged += m.exchanged;
+    remote += m.remote_exchanged;
+  }
+  EXPECT_EQ(result.totals.exchanged, exchanged);
+  EXPECT_EQ(result.totals.remote_exchanged, remote);
+}
+
+TEST(Locality, SpmdKeepsMostExchangeLocal) {
+  // With colors pinned to geometric home ranks, only exchanges across
+  // rank-block boundaries are remote — a minority for slow particles.
+  auto cfg = locality_config();
+  cfg.mode = ExecutionMode::spmd;
+  PicApp app{cfg};
+  auto const result = app.run();
+  ASSERT_GT(result.totals.exchanged, 0u);
+  EXPECT_LT(result.totals.remote_exchanged,
+            result.totals.exchanged / 2);
+}
+
+TEST(Locality, ScatteringStrategyRaisesRemoteFraction) {
+  // GreedyLB scatters every color with no regard for geometry, so the
+  // remote share of exchange must rise relative to SPMD — the locality
+  // cost the paper's §V-E2 motivates minimizing migrations for.
+  auto spmd = locality_config();
+  spmd.mode = ExecutionMode::spmd;
+  auto const spmd_result = PicApp{spmd}.run();
+  double const spmd_frac =
+      static_cast<double>(spmd_result.totals.remote_exchanged) /
+      static_cast<double>(spmd_result.totals.exchanged);
+
+  auto greedy = locality_config();
+  greedy.strategy = "greedy";
+  auto const greedy_result = PicApp{greedy}.run();
+  double const greedy_frac =
+      static_cast<double>(greedy_result.totals.remote_exchanged) /
+      static_cast<double>(greedy_result.totals.exchanged);
+
+  EXPECT_GT(greedy_frac, spmd_frac);
+}
+
+TEST(ColorChunk, WireBytesIncludeMeshAndParticles) {
+  ColorChunk chunk{3, /*cells=*/16};
+  auto const empty_bytes = chunk.wire_bytes();
+  EXPECT_EQ(empty_bytes, 16u * 8u);
+  chunk.particles().add(1.0, 1.0, 0.0, 0.0);
+  chunk.particles().add(2.0, 2.0, 0.0, 0.0);
+  EXPECT_EQ(chunk.wire_bytes(), empty_bytes + 2 * particle_wire_bytes);
+  EXPECT_EQ(chunk.id(), 3);
+  EXPECT_EQ(chunk.cells(), 16);
+}
+
+} // namespace
+} // namespace tlb::pic

@@ -1,0 +1,108 @@
+#include "pic/particles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace tlb::pic {
+namespace {
+
+TEST(Particles, AddAndAccess) {
+  Particles p;
+  EXPECT_TRUE(p.empty());
+  p.add(1.0, 2.0, 0.1, -0.2);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.x(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.y(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.vx(0), 0.1);
+  EXPECT_DOUBLE_EQ(p.vy(0), -0.2);
+}
+
+TEST(Particles, PushAdvancesPositions) {
+  Particles p;
+  p.add(1.0, 1.0, 0.5, 0.25);
+  p.push(2.0, 100.0, 100.0);
+  EXPECT_DOUBLE_EQ(p.x(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.y(0), 1.5);
+}
+
+TEST(Particles, ReflectsAtUpperBoundary) {
+  Particles p;
+  p.add(9.5, 5.0, 1.0, 0.0);
+  p.push(1.0, 10.0, 10.0); // would land at 10.5 -> reflect to 9.5
+  EXPECT_NEAR(p.x(0), 9.5, 1e-12);
+  EXPECT_DOUBLE_EQ(p.vx(0), -1.0);
+}
+
+TEST(Particles, ReflectsAtLowerBoundary) {
+  Particles p;
+  p.add(0.5, 5.0, -1.0, 0.0);
+  p.push(1.0, 10.0, 10.0); // would land at -0.5 -> reflect to 0.5
+  EXPECT_NEAR(p.x(0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(p.vx(0), 1.0);
+}
+
+TEST(Particles, StaysInDomainUnderLongRandomPush) {
+  Particles p;
+  Rng rng{31};
+  for (int i = 0; i < 200; ++i) {
+    p.add(rng.uniform(0.0, 20.0), rng.uniform(0.0, 10.0),
+          rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0));
+  }
+  for (int step = 0; step < 100; ++step) {
+    p.push(1.0, 20.0, 10.0);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      ASSERT_GE(p.x(i), 0.0);
+      ASSERT_LT(p.x(i), 20.0);
+      ASSERT_GE(p.y(i), 0.0);
+      ASSERT_LT(p.y(i), 10.0);
+    }
+  }
+}
+
+TEST(Particles, RemoveSwapKeepsOthers) {
+  Particles p;
+  p.add(1.0, 0.0, 0.0, 0.0);
+  p.add(2.0, 0.0, 0.0, 0.0);
+  p.add(3.0, 0.0, 0.0, 0.0);
+  p.remove_swap(0); // last (3.0) takes slot 0
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.x(0), 3.0);
+  EXPECT_DOUBLE_EQ(p.x(1), 2.0);
+}
+
+TEST(Particles, TakeFromTransfers) {
+  Particles a;
+  Particles b;
+  a.add(1.0, 2.0, 3.0, 4.0);
+  a.add(5.0, 6.0, 7.0, 8.0);
+  b.take_from(a, 0);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.x(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.vy(0), 4.0);
+  EXPECT_DOUBLE_EQ(a.x(0), 5.0);
+}
+
+TEST(Particles, WireBytes) {
+  Particles p;
+  EXPECT_EQ(p.wire_bytes(), 0u);
+  p.add(0, 0, 0, 0);
+  p.add(0, 0, 0, 0);
+  EXPECT_EQ(p.wire_bytes(), 2 * particle_wire_bytes);
+}
+
+TEST(Particles, ClearEmpties) {
+  Particles p;
+  p.add(1, 1, 0, 0);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(ParticlesDeath, RemoveOutOfRangeAborts) {
+  Particles p;
+  EXPECT_DEATH(p.remove_swap(0), "precondition");
+}
+
+} // namespace
+} // namespace tlb::pic

@@ -1,0 +1,65 @@
+#include "pic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace tlb::pic {
+namespace {
+
+RunResult tiny_run() {
+  PicConfig cfg;
+  cfg.mesh.ranks_x = 2;
+  cfg.mesh.ranks_y = 2;
+  cfg.mesh.colors_x = 2;
+  cfg.mesh.colors_y = 2;
+  cfg.steps = 8;
+  cfg.bdot.total_steps = 8;
+  cfg.bdot.base_rate = 20.0;
+  cfg.lb_period = 4;
+  cfg.lb_params.rounds = 3;
+  cfg.lb_params.num_trials = 1;
+  cfg.lb_params.num_iterations = 1;
+  PicApp app{cfg};
+  return app.run();
+}
+
+TEST(Trace, OneRowPerStepPlusHeader) {
+  auto const result = tiny_run();
+  std::ostringstream os;
+  write_trace_csv(os, result);
+  auto const text = os.str();
+  auto const lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(result.steps.size()) + 1);
+  EXPECT_NE(text.find("step,t_particle"), std::string::npos);
+}
+
+TEST(Trace, FieldsRoundTripNumerically) {
+  auto const result = tiny_run();
+  std::ostringstream os;
+  write_trace_csv(os, result);
+  std::istringstream is{os.str()};
+  std::string line;
+  std::getline(is, line); // header
+  std::getline(is, line); // step 0
+  std::istringstream row{line};
+  std::string cell;
+  std::getline(row, cell, ',');
+  EXPECT_EQ(cell, "0");
+  std::getline(row, cell, ',');
+  EXPECT_NEAR(std::stod(cell), result.steps[0].t_particle, 1e-6);
+}
+
+TEST(Trace, FileWritingAndBadPath) {
+  auto const result = tiny_run();
+  std::string const path = "/tmp/tlb_trace_test.csv";
+  write_trace_csv(path, result);
+  std::ifstream check{path};
+  EXPECT_TRUE(check.good());
+  EXPECT_THROW(write_trace_csv("/nonexistent-dir/x.csv", result),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace tlb::pic

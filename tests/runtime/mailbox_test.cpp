@@ -1,0 +1,117 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tlb::rt {
+namespace {
+
+Envelope make(int tag) {
+  return Envelope{0, 0, static_cast<std::size_t>(tag), nullptr};
+}
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox box;
+  for (int i = 0; i < 10; ++i) {
+    box.push(make(i));
+  }
+  std::vector<Envelope> out;
+  EXPECT_EQ(box.pop_batch(out, 0), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].bytes,
+              static_cast<std::size_t>(i));
+  }
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, BatchLimitRespected) {
+  Mailbox box;
+  for (int i = 0; i < 10; ++i) {
+    box.push(make(i));
+  }
+  std::vector<Envelope> out;
+  EXPECT_EQ(box.pop_batch(out, 3), 3u);
+  EXPECT_EQ(box.size(), 7u);
+  EXPECT_EQ(out[0].bytes, 0u);
+  EXPECT_EQ(out[2].bytes, 2u);
+  // Appends, does not clear.
+  EXPECT_EQ(box.pop_batch(out, 3), 3u);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[3].bytes, 3u);
+}
+
+TEST(Mailbox, PopFromEmpty) {
+  Mailbox box;
+  std::vector<Envelope> out;
+  EXPECT_EQ(box.pop_batch(out, 0), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Mailbox, RandomPopIsPermutation) {
+  Mailbox box;
+  for (int i = 0; i < 32; ++i) {
+    box.push(make(i));
+  }
+  std::vector<Envelope> out;
+  Rng rng{3};
+  EXPECT_EQ(box.pop_batch_random(out, 0, rng), 32u);
+  std::vector<std::size_t> tags;
+  for (auto const& e : out) {
+    tags.push_back(e.bytes);
+  }
+  auto sorted = tags;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+  EXPECT_NE(tags, sorted); // overwhelmingly likely reordered
+}
+
+TEST(Mailbox, RandomPopDeterministicPerSeed) {
+  auto run_once = [] {
+    Mailbox box;
+    for (int i = 0; i < 16; ++i) {
+      box.push(make(i));
+    }
+    std::vector<Envelope> out;
+    Rng rng{9};
+    box.pop_batch_random(out, 0, rng);
+    std::vector<std::size_t> tags;
+    for (auto const& e : out) {
+      tags.push_back(e.bytes);
+    }
+    return tags;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Mailbox, ConcurrentProducersAllArrive) {
+  Mailbox box;
+  constexpr int producers = 4;
+  constexpr int per_producer = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&box, t] {
+      for (int i = 0; i < per_producer; ++i) {
+        box.push(make(t * per_producer + i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(box.size(),
+            static_cast<std::size_t>(producers * per_producer));
+  std::vector<Envelope> out;
+  box.pop_batch(out, 0);
+  std::vector<bool> seen(producers * per_producer, false);
+  for (auto const& e : out) {
+    ASSERT_LT(e.bytes, seen.size());
+    EXPECT_FALSE(seen[e.bytes]);
+    seen[e.bytes] = true;
+  }
+}
+
+} // namespace
+} // namespace tlb::rt

@@ -1,0 +1,126 @@
+#include "runtime/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tlb::rt {
+namespace {
+
+class Blob final : public Migratable {
+public:
+  explicit Blob(std::size_t size, int tag = 0) : size_{size}, tag_{tag} {}
+  [[nodiscard]] std::size_t wire_bytes() const override { return size_; }
+  [[nodiscard]] int tag() const { return tag_; }
+
+private:
+  std::size_t size_;
+  int tag_;
+};
+
+RuntimeConfig config(RankId ranks, int threads = 1) {
+  RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(ObjectStore, CreateAndFind) {
+  ObjectStore store{4};
+  store.create(1, 100, std::make_unique<Blob>(64, 7));
+  EXPECT_EQ(store.owner(100), 1);
+  auto* blob = dynamic_cast<Blob*>(store.find(1, 100));
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->tag(), 7);
+  EXPECT_EQ(store.find(0, 100), nullptr);
+  EXPECT_EQ(store.owner(999), invalid_rank);
+}
+
+TEST(ObjectStore, TasksOnReportsSorted) {
+  ObjectStore store{2};
+  store.create(0, 5, std::make_unique<Blob>(1));
+  store.create(0, 2, std::make_unique<Blob>(1));
+  store.create(1, 3, std::make_unique<Blob>(1));
+  auto const tasks = store.tasks_on(0);
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0], 2);
+  EXPECT_EQ(tasks[1], 5);
+  EXPECT_EQ(store.total_tasks(), 3u);
+}
+
+TEST(ObjectStore, MigrateMovesPayload) {
+  Runtime rt{config(4)};
+  ObjectStore store{4};
+  store.create(0, 10, std::make_unique<Blob>(128, 42));
+  auto const bytes = store.migrate(rt, {Migration{10, 0, 3, 1.0}});
+  EXPECT_EQ(bytes, 128u);
+  EXPECT_EQ(store.owner(10), 3);
+  EXPECT_EQ(store.find(0, 10), nullptr);
+  auto* blob = dynamic_cast<Blob*>(store.find(3, 10));
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->tag(), 42);
+}
+
+TEST(ObjectStore, SelfMigrationIsNoop) {
+  Runtime rt{config(2)};
+  ObjectStore store{2};
+  store.create(1, 7, std::make_unique<Blob>(32));
+  auto const bytes = store.migrate(rt, {Migration{7, 1, 1, 1.0}});
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_EQ(store.owner(7), 1);
+  EXPECT_EQ(store.migration_count(), 0u);
+}
+
+TEST(ObjectStore, BatchMigrationAccounting) {
+  Runtime rt{config(4)};
+  ObjectStore store{4};
+  store.create(0, 1, std::make_unique<Blob>(10));
+  store.create(0, 2, std::make_unique<Blob>(20));
+  store.create(1, 3, std::make_unique<Blob>(30));
+  std::vector<Migration> const migrations{
+      {1, 0, 2, 1.0}, {2, 0, 3, 1.0}, {3, 1, 0, 1.0}};
+  auto const bytes = store.migrate(rt, migrations);
+  EXPECT_EQ(bytes, 60u);
+  EXPECT_EQ(store.migration_bytes(), 60u);
+  EXPECT_EQ(store.migration_count(), 3u);
+  EXPECT_EQ(store.owner(1), 2);
+  EXPECT_EQ(store.owner(2), 3);
+  EXPECT_EQ(store.owner(3), 0);
+}
+
+TEST(ObjectStore, ChainedMigrationsAcrossInvocations) {
+  Runtime rt{config(3)};
+  ObjectStore store{3};
+  store.create(0, 1, std::make_unique<Blob>(8, 5));
+  (void)store.migrate(rt, {Migration{1, 0, 1, 1.0}});
+  (void)store.migrate(rt, {Migration{1, 1, 2, 1.0}});
+  EXPECT_EQ(store.owner(1), 2);
+  auto* blob = dynamic_cast<Blob*>(store.find(2, 1));
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->tag(), 5);
+}
+
+TEST(ObjectStore, MigrationTrafficVisibleInRuntimeStats) {
+  Runtime rt{config(2)};
+  ObjectStore store{2};
+  store.create(0, 1, std::make_unique<Blob>(512));
+  rt.reset_stats();
+  (void)store.migrate(rt, {Migration{1, 0, 1, 1.0}});
+  EXPECT_GE(rt.stats().bytes, 512u);
+}
+
+TEST(ObjectStoreDeath, DuplicateTaskIdAborts) {
+  ObjectStore store{2};
+  store.create(0, 1, std::make_unique<Blob>(1));
+  EXPECT_DEATH(store.create(1, 1, std::make_unique<Blob>(1)),
+               "precondition");
+}
+
+TEST(ObjectStoreDeath, MigrateWithWrongSourceAborts) {
+  Runtime rt{config(2)};
+  ObjectStore store{2};
+  store.create(0, 1, std::make_unique<Blob>(1));
+  EXPECT_DEATH((void)store.migrate(rt, {Migration{1, 1, 0, 1.0}}),
+               "precondition");
+}
+
+} // namespace
+} // namespace tlb::rt

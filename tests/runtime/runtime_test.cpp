@@ -1,0 +1,195 @@
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace tlb::rt {
+namespace {
+
+RuntimeConfig seq_config(RankId ranks) {
+  RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+RuntimeConfig threaded_config(RankId ranks, int threads) {
+  RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(Runtime, PostRunsOnTargetRank) {
+  Runtime rt{seq_config(4)};
+  std::vector<int> hits(4, 0);
+  for (RankId r = 0; r < 4; ++r) {
+    rt.post(r, [&hits](RankContext& ctx) {
+      ++hits[static_cast<std::size_t>(ctx.rank())];
+    });
+  }
+  rt.run_until_quiescent();
+  for (int const h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(Runtime, PostAllReachesEveryRank) {
+  Runtime rt{seq_config(7)};
+  std::atomic<int> count{0};
+  rt.post_all([&count](RankContext&) { ++count; });
+  rt.run_until_quiescent();
+  EXPECT_EQ(count.load(), 7);
+}
+
+TEST(Runtime, HandlersCanSendCascades) {
+  // A chain 0 -> 1 -> 2 -> ... -> P-1, each hop sending the next message.
+  constexpr RankId p = 16;
+  Runtime rt{seq_config(p)};
+  std::vector<int> visited(p, 0);
+
+  std::function<void(RankContext&)> hop = [&](RankContext& ctx) {
+    ++visited[static_cast<std::size_t>(ctx.rank())];
+    if (ctx.rank() + 1 < ctx.num_ranks()) {
+      ctx.send(ctx.rank() + 1, 8, hop);
+    }
+  };
+  rt.post(0, hop);
+  rt.run_until_quiescent();
+  for (int const v : visited) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(Runtime, QuiescenceMeansNoPendingWork) {
+  Runtime rt{seq_config(3)};
+  rt.post(0, [](RankContext& ctx) {
+    ctx.send(1, 0, [](RankContext& c) {
+      c.send(2, 0, [](RankContext&) {});
+    });
+  });
+  rt.run_until_quiescent();
+  // A second run with nothing posted must return immediately.
+  rt.run_until_quiescent();
+  SUCCEED();
+}
+
+TEST(Runtime, StatsCountMessagesAndBytes) {
+  Runtime rt{seq_config(2)};
+  rt.reset_stats();
+  rt.post(0, [](RankContext& ctx) {
+    ctx.send(1, 100, [](RankContext&) {});
+    ctx.send(1, 50, [](RankContext&) {});
+  });
+  rt.run_until_quiescent();
+  auto const s = rt.stats();
+  EXPECT_EQ(s.messages, 3u); // the post + two sends
+  EXPECT_EQ(s.bytes, 150u);
+}
+
+TEST(Runtime, LocalSendsTracked) {
+  Runtime rt{seq_config(2)};
+  rt.reset_stats();
+  rt.post(0, [](RankContext& ctx) {
+    ctx.send(0, 10, [](RankContext&) {}); // self-send
+    ctx.send(1, 10, [](RankContext&) {});
+  });
+  rt.run_until_quiescent();
+  EXPECT_EQ(rt.stats().local_messages, 1u);
+}
+
+TEST(Runtime, RankRngDeterministicPerSeed) {
+  RuntimeConfig cfg = seq_config(4);
+  cfg.seed = 99;
+  Runtime a{cfg};
+  Runtime b{cfg};
+  for (RankId r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.rank_rng(r)(), b.rank_rng(r)());
+  }
+  // Different ranks get different streams.
+  Runtime c{cfg};
+  EXPECT_NE(c.rank_rng(0)(), c.rank_rng(1)());
+}
+
+TEST(Runtime, SequentialExecutionIsDeterministic) {
+  // Record the global order of handler execution twice; must be equal.
+  auto run_once = [] {
+    Runtime rt{seq_config(8)};
+    std::vector<RankId> order;
+    rt.post_all([&order](RankContext& ctx) {
+      order.push_back(ctx.rank());
+      if (ctx.rank() % 2 == 0) {
+        ctx.send((ctx.rank() + 3) % ctx.num_ranks(), 4,
+                 [&order](RankContext& c) { order.push_back(c.rank() + 100); });
+      }
+    });
+    rt.run_until_quiescent();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RuntimeThreaded, AllMessagesProcessed) {
+  constexpr RankId p = 32;
+  Runtime rt{threaded_config(p, 4)};
+  std::atomic<int> count{0};
+  // Fan-out storm: every rank sends to 8 random peers.
+  rt.post_all([&count](RankContext& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      auto const dest = static_cast<RankId>(
+          ctx.rng().uniform_below(static_cast<std::uint64_t>(
+              ctx.num_ranks())));
+      ctx.send(dest, 16, [&count](RankContext&) { ++count; });
+    }
+  });
+  rt.run_until_quiescent();
+  EXPECT_EQ(count.load(), p * 8);
+}
+
+TEST(RuntimeThreaded, PerRankStateNeedsNoLocking) {
+  // Each rank accumulates into its own (unsynchronized) slot; block
+  // ownership guarantees single-threaded access per rank.
+  constexpr RankId p = 16;
+  Runtime rt{threaded_config(p, 4)};
+  std::vector<std::int64_t> sums(p, 0);
+  constexpr int messages_per_rank = 500;
+  for (RankId r = 0; r < p; ++r) {
+    for (int i = 0; i < messages_per_rank; ++i) {
+      rt.post(r, [&sums](RankContext& ctx) {
+        ++sums[static_cast<std::size_t>(ctx.rank())];
+      });
+    }
+  }
+  rt.run_until_quiescent();
+  for (auto const s : sums) {
+    EXPECT_EQ(s, messages_per_rank);
+  }
+}
+
+TEST(RuntimeThreaded, RepeatedQuiescenceCycles) {
+  Runtime rt{threaded_config(8, 3)};
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    rt.post_all([&total](RankContext& ctx) {
+      ctx.send((ctx.rank() + 1) % ctx.num_ranks(), 1,
+               [&total](RankContext&) { ++total; });
+    });
+    rt.run_until_quiescent();
+  }
+  EXPECT_EQ(total.load(), 10 * 8);
+}
+
+TEST(RuntimeDeath, InvalidDestinationAborts) {
+  Runtime rt{seq_config(2)};
+  EXPECT_DEATH(rt.post(5, [](RankContext&) {}), "precondition");
+}
+
+TEST(RuntimeDeath, ZeroRanksAborts) {
+  EXPECT_DEATH(Runtime{seq_config(0)}, "precondition");
+}
+
+} // namespace
+} // namespace tlb::rt

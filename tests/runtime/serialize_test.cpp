@@ -1,0 +1,129 @@
+#include "runtime/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/knowledge.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::rt {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  Packer p;
+  p.pack(42);
+  p.pack(3.25);
+  p.pack(std::int64_t{-7});
+  Unpacker u{p.bytes()};
+  EXPECT_EQ(u.unpack<int>(), 42);
+  EXPECT_DOUBLE_EQ(u.unpack<double>(), 3.25);
+  EXPECT_EQ(u.unpack<std::int64_t>(), -7);
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  Packer p;
+  std::vector<double> const values{1.0, -2.5, 1e300};
+  p.pack(values);
+  Unpacker u{p.bytes()};
+  EXPECT_EQ(u.unpack_vector<double>(), values);
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(Serialize, EmptyVector) {
+  Packer p;
+  p.pack(std::vector<int>{});
+  Unpacker u{p.bytes()};
+  EXPECT_TRUE(u.unpack_vector<int>().empty());
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Packer p;
+  p.pack(std::string{"hello\0world", 11});
+  p.pack(std::string{});
+  Unpacker u{p.bytes()};
+  EXPECT_EQ(u.unpack_string(), (std::string{"hello\0world", 11}));
+  EXPECT_EQ(u.unpack_string(), "");
+  EXPECT_TRUE(u.exhausted());
+}
+
+struct Pod {
+  int a;
+  double b;
+  friend bool operator==(Pod const&, Pod const&) = default;
+};
+
+TEST(Serialize, MixedSequencePreservesOrder) {
+  Packer p;
+  p.pack(Pod{1, 2.0});
+  p.pack(std::vector<int>{3, 4});
+  p.pack(std::string{"x"});
+  p.pack(Pod{5, 6.0});
+  Unpacker u{p.bytes()};
+  EXPECT_EQ(u.unpack<Pod>(), (Pod{1, 2.0}));
+  EXPECT_EQ(u.unpack_vector<int>(), (std::vector<int>{3, 4}));
+  EXPECT_EQ(u.unpack_string(), "x");
+  EXPECT_EQ(u.unpack<Pod>(), (Pod{5, 6.0}));
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(Serialize, ConsumedTracksOffset) {
+  Packer p;
+  p.pack(std::uint32_t{1});
+  Unpacker u{p.bytes()};
+  EXPECT_EQ(u.consumed(), 0u);
+  (void)u.unpack<std::uint32_t>();
+  EXPECT_EQ(u.consumed(), 4u);
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+  Packer p;
+  p.pack(7);
+  auto const bytes = std::move(p).take();
+  EXPECT_EQ(bytes.size(), sizeof(int));
+}
+
+TEST(SerializeDeath, UnderflowAborts) {
+  Packer p;
+  p.pack(std::uint16_t{1});
+  Unpacker u{p.bytes()};
+  EXPECT_DEATH((void)u.unpack<std::uint64_t>(), "precondition");
+}
+
+TEST(SerializeDeath, TruncatedVectorAborts) {
+  Packer p;
+  p.pack(std::uint64_t{1000}); // lie: claims 1000 elements, provides none
+  Unpacker u{p.bytes()};
+  EXPECT_DEATH((void)u.unpack_vector<double>(), "precondition");
+}
+
+TEST(SerializeKnowledge, RoundTripPreservesEntries) {
+  lb::Knowledge k;
+  Rng rng{5};
+  for (int i = 0; i < 40; ++i) {
+    k.insert(static_cast<RankId>(i * 3), rng.uniform(0.0, 2.0));
+  }
+  Packer p;
+  k.pack(p);
+  // The packed size is the wire estimate plus the length prefix.
+  EXPECT_EQ(p.size(), k.wire_bytes() + sizeof(std::uint64_t));
+  Unpacker u{p.bytes()};
+  auto const back = lb::Knowledge::unpack(u);
+  EXPECT_TRUE(u.exhausted());
+  ASSERT_EQ(back.size(), k.size());
+  for (auto const& e : k.entries()) {
+    ASSERT_TRUE(back.contains(e.rank));
+    EXPECT_DOUBLE_EQ(back.load_of(e.rank), e.load);
+  }
+}
+
+TEST(SerializeKnowledge, EmptyKnowledge) {
+  lb::Knowledge const k;
+  Packer p;
+  k.pack(p);
+  Unpacker u{p.bytes()};
+  EXPECT_TRUE(lb::Knowledge::unpack(u).empty());
+}
+
+} // namespace
+} // namespace tlb::rt

@@ -1,0 +1,102 @@
+#include "lb/strategy/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/strategy/strategy.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+rt::RuntimeConfig config(RankId ranks) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  return cfg;
+}
+
+StrategyInput two_rank_input() {
+  StrategyInput input;
+  input.tasks.resize(4);
+  input.tasks[0] = {{0, 1.0}, {1, 2.0}};
+  input.tasks[2] = {{2, 3.0}};
+  return input;
+}
+
+TEST(RotateLB, ShiftsEveryTaskByOne) {
+  rt::Runtime rt{config(4)};
+  RotateStrategy strategy;
+  auto const input = two_rank_input();
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  ASSERT_EQ(result.migrations.size(), 3u);
+  for (auto const& m : result.migrations) {
+    EXPECT_EQ(m.to, (m.from + 1) % 4);
+  }
+}
+
+TEST(RotateLB, SingleRankMovesNothing) {
+  rt::Runtime rt{config(1)};
+  RotateStrategy strategy;
+  StrategyInput input;
+  input.tasks.resize(1);
+  input.tasks[0] = {{0, 1.0}};
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_TRUE(result.migrations.empty());
+}
+
+TEST(RotateLB, PreservesImbalanceValue) {
+  // Rotation permutes rank loads, so I is unchanged.
+  rt::Runtime rt{config(4)};
+  RotateStrategy strategy;
+  auto const input = two_rank_input();
+  double const before = imbalance(input.rank_loads());
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_NEAR(result.achieved_imbalance, before, 1e-12);
+}
+
+TEST(RandomLB, DeterministicPerSeed) {
+  rt::Runtime rt{config(8)};
+  RandomStrategy strategy;
+  StrategyInput input;
+  input.tasks.resize(8);
+  for (TaskId i = 0; i < 32; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+  }
+  auto params = LbParams::tempered();
+  params.seed = 5;
+  auto const a = strategy.balance(rt, input, params);
+  auto const b = strategy.balance(rt, input, params);
+  EXPECT_EQ(a.migrations, b.migrations);
+  params.seed = 6;
+  auto const c = strategy.balance(rt, input, params);
+  EXPECT_NE(a.migrations, c.migrations);
+}
+
+TEST(RandomLB, SpreadsTasksAcrossRanks) {
+  rt::Runtime rt{config(8)};
+  RandomStrategy strategy;
+  StrategyInput input;
+  input.tasks.resize(8);
+  for (TaskId i = 0; i < 400; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+  }
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  // Expected I for multinomial(400, 8 bins) is small; definitely below
+  // the initial I = 7.
+  EXPECT_LT(result.achieved_imbalance, 1.0);
+}
+
+TEST(Factory, CreatesAllRegisteredStrategies) {
+  for (auto const name : strategy_names()) {
+    auto const strategy = make_strategy(name);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), name);
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW((void)make_strategy("definitely-not-a-strategy"),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace tlb::lb

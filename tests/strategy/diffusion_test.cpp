@@ -1,0 +1,124 @@
+#include "lb/strategy/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/strategy/gossip_strategy.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+rt::RuntimeConfig config(RankId ranks) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  return cfg;
+}
+
+StrategyInput clustered(RankId ranks, RankId loaded, std::size_t per_rank,
+                        std::uint64_t seed) {
+  StrategyInput input;
+  input.tasks.resize(static_cast<std::size_t>(ranks));
+  Rng rng{seed};
+  TaskId id = 0;
+  for (RankId r = 0; r < loaded; ++r) {
+    for (std::size_t i = 0; i < per_rank; ++i) {
+      input.tasks[static_cast<std::size_t>(r)].push_back(
+          {id++, rng.uniform(0.5, 1.5)});
+    }
+  }
+  return input;
+}
+
+TEST(DiffusionLB, ImprovesNeighborhoodImbalance) {
+  // A mild gradient is the regime diffusion handles well.
+  StrategyInput input;
+  input.tasks.resize(16);
+  TaskId id = 0;
+  for (RankId r = 0; r < 16; ++r) {
+    for (int i = 0; i <= r; ++i) {
+      input.tasks[static_cast<std::size_t>(r)].push_back({id++, 1.0});
+    }
+  }
+  double const before = imbalance(input.rank_loads());
+  rt::Runtime rt{config(16)};
+  DiffusionStrategy strategy;
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_LT(result.achieved_imbalance, 0.5 * before);
+}
+
+TEST(DiffusionLB, LimitedInformationLosesToGossipOnClustered) {
+  // §IV-A's point: local-only schemes cannot cross the machine fast. A
+  // hot spot on 2 of 64 ranks diffuses only ~sweeps hops per invocation,
+  // so gossip must beat it decisively.
+  auto const input = clustered(64, 2, 60, 7);
+  rt::Runtime rt1{config(64)};
+  rt::Runtime rt2{config(64)};
+  DiffusionStrategy diffusion;
+  GossipStrategy tempered{GossipStrategy::Flavor::tempered};
+  auto params = LbParams::tempered();
+  params.rounds = 6;
+  params.num_trials = 2;
+  params.num_iterations = 3;
+  auto const d = diffusion.balance(rt1, input, params);
+  auto const g = tempered.balance(rt2, input, params);
+  EXPECT_LT(g.achieved_imbalance, 0.5 * d.achieved_imbalance);
+}
+
+TEST(DiffusionLB, ConservesLoad) {
+  auto const input = clustered(12, 3, 20, 5);
+  rt::Runtime rt{config(12)};
+  DiffusionStrategy strategy;
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  double total_in = 0.0;
+  for (auto const& tasks : input.tasks) {
+    for (auto const& t : tasks) {
+      total_in += t.load;
+    }
+  }
+  double total_out = 0.0;
+  for (double const l : result.new_rank_loads) {
+    EXPECT_GE(l, -1e-9);
+    total_out += l;
+  }
+  EXPECT_NEAR(total_in, total_out, 1e-9);
+}
+
+TEST(DiffusionLB, SingleRankIsNoop) {
+  StrategyInput input;
+  input.tasks.resize(1);
+  input.tasks[0] = {{0, 1.0}, {1, 2.0}};
+  rt::Runtime rt{config(1)};
+  DiffusionStrategy strategy;
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_TRUE(result.migrations.empty());
+}
+
+TEST(DiffusionLB, Deterministic) {
+  auto const input = clustered(16, 2, 25, 9);
+  auto run_once = [&] {
+    rt::Runtime rt{config(16)};
+    DiffusionStrategy strategy;
+    return strategy.balance(rt, input, LbParams::tempered());
+  };
+  EXPECT_EQ(run_once().migrations, run_once().migrations);
+}
+
+TEST(DiffusionLB, MoreSweepsSpreadFurther) {
+  auto const input = clustered(32, 1, 64, 11);
+  auto run_with = [&](int sweeps) {
+    rt::Runtime rt{config(32)};
+    DiffusionStrategy strategy{sweeps};
+    return strategy.balance(rt, input, LbParams::tempered())
+        .achieved_imbalance;
+  };
+  EXPECT_LT(run_with(16), run_with(2));
+}
+
+TEST(DiffusionLB, RegisteredInFactory) {
+  auto const strategy = make_strategy("diffusion");
+  EXPECT_EQ(strategy->name(), "diffusion");
+}
+
+} // namespace
+} // namespace tlb::lb

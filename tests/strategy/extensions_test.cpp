@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lb/strategy/gossip_strategy.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+rt::RuntimeConfig config(RankId ranks, bool random_delivery = false) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.seed = 321;
+  cfg.random_delivery = random_delivery;
+  return cfg;
+}
+
+StrategyInput clustered(RankId ranks, RankId loaded, std::size_t per_rank,
+                        std::uint64_t seed) {
+  StrategyInput input;
+  input.tasks.resize(static_cast<std::size_t>(ranks));
+  Rng rng{seed};
+  TaskId id = 0;
+  for (RankId r = 0; r < loaded; ++r) {
+    for (std::size_t i = 0; i < per_rank; ++i) {
+      input.tasks[static_cast<std::size_t>(r)].push_back(
+          {id++, rng.uniform(0.5, 1.5)});
+    }
+  }
+  return input;
+}
+
+LbParams fast_params() {
+  auto p = LbParams::tempered();
+  p.rounds = 5;
+  p.num_trials = 2;
+  p.num_iterations = 3;
+  return p;
+}
+
+TEST(KnowledgeCapStrategy, BoundedKnowledgeStillImproves) {
+  auto const input = clustered(64, 4, 40, 3);
+  double const before = imbalance(input.rank_loads());
+  rt::Runtime rt{config(64)};
+  GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+  auto params = fast_params();
+  params.max_knowledge = 8;
+  auto const result = strategy.balance(rt, input, params);
+  EXPECT_LT(result.achieved_imbalance, before);
+}
+
+TEST(KnowledgeCapStrategy, CapReducesGossipBytes) {
+  auto const input = clustered(64, 4, 40, 3);
+  auto run_with = [&](int cap) {
+    rt::Runtime rt{config(64)};
+    GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+    auto params = fast_params();
+    params.max_knowledge = cap;
+    return strategy.balance(rt, input, params);
+  };
+  auto const capped = run_with(4);
+  auto const unlimited = run_with(0);
+  EXPECT_LT(capped.cost.lb_bytes, unlimited.cost.lb_bytes / 2);
+}
+
+TEST(KnowledgeCapStrategy, UnlimitedEqualsDefault) {
+  auto const input = clustered(32, 2, 30, 5);
+  auto run_with = [&](int cap) {
+    rt::Runtime rt{config(32)};
+    GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+    auto params = fast_params();
+    params.max_knowledge = cap;
+    return strategy.balance(rt, input, params);
+  };
+  auto const a = run_with(0);
+  auto const b = run_with(0);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(Nacks, ConservesTasksWhenBouncing) {
+  // With NACKs every bounced task must land back on its sender; no task
+  // may vanish or duplicate in the final migration list.
+  auto const input = clustered(32, 2, 40, 7);
+  rt::Runtime rt{config(32)};
+  GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+  auto params = fast_params();
+  params.use_nacks = true;
+  auto const result = strategy.balance(rt, input, params);
+  std::map<TaskId, RankId> home;
+  for (std::size_t r = 0; r < input.tasks.size(); ++r) {
+    for (auto const& t : input.tasks[r]) {
+      home[t.id] = static_cast<RankId>(r);
+    }
+  }
+  std::set<TaskId> seen;
+  for (auto const& m : result.migrations) {
+    EXPECT_TRUE(seen.insert(m.task).second) << "task migrated twice";
+    EXPECT_EQ(m.from, home.at(m.task));
+  }
+  double total_in = 0.0;
+  for (auto const& tasks : input.tasks) {
+    for (auto const& t : tasks) {
+      total_in += t.load;
+    }
+  }
+  double total_out = 0.0;
+  for (double const l : result.new_rank_loads) {
+    total_out += l;
+  }
+  EXPECT_NEAR(total_in, total_out, 1e-6);
+}
+
+TEST(Nacks, RecipientsStayAtOrBelowAverageInProjection) {
+  // The NACK rule bounces anything that would push a recipient past
+  // l_ave, so no rank that started underloaded may end above it (senders
+  // may, they just shed less).
+  auto const input = clustered(32, 2, 40, 9);
+  auto const initial = input.rank_loads();
+  double total = 0.0;
+  for (double const l : initial) {
+    total += l;
+  }
+  double const l_ave = total / static_cast<double>(initial.size());
+
+  rt::Runtime rt{config(32)};
+  GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+  auto params = fast_params();
+  params.use_nacks = true;
+  auto const result = strategy.balance(rt, input, params);
+  for (std::size_t r = 0; r < initial.size(); ++r) {
+    if (initial[r] < l_ave) {
+      EXPECT_LE(result.new_rank_loads[r], l_ave + 1e-9) << "rank " << r;
+    }
+  }
+}
+
+TEST(Nacks, WorseThanPaperDesignOnConcentratedLoad) {
+  // The ablation result: bouncing recipients at l_ave re-imposes the
+  // original criterion's restriction, so NACKs cannot beat the paper's
+  // deferred-commit design on a concentrated workload.
+  auto const input = clustered(64, 2, 60, 11);
+  auto run_with = [&](bool nacks) {
+    rt::Runtime rt{config(64)};
+    GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+    auto params = fast_params();
+    params.use_nacks = nacks;
+    return strategy.balance(rt, input, params);
+  };
+  auto const with_nacks = run_with(true);
+  auto const without = run_with(false);
+  EXPECT_LE(without.achieved_imbalance,
+            with_nacks.achieved_imbalance + 1e-9);
+}
+
+TEST(RandomDeliveryStrategy, GossipLbValidUnderReordering) {
+  // The asynchronous protocol must tolerate arbitrary delivery order.
+  auto const input = clustered(48, 3, 40, 13);
+  double const before = imbalance(input.rank_loads());
+  rt::Runtime rt{config(48, /*random_delivery=*/true)};
+  GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+  auto const result = strategy.balance(rt, input, fast_params());
+  EXPECT_LT(result.achieved_imbalance, 0.5 * before);
+  // Migration list consistency.
+  std::set<TaskId> seen;
+  for (auto const& m : result.migrations) {
+    EXPECT_TRUE(seen.insert(m.task).second);
+    EXPECT_NE(m.from, m.to);
+  }
+}
+
+} // namespace
+} // namespace tlb::lb

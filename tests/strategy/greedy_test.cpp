@@ -1,0 +1,107 @@
+#include "lb/strategy/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+rt::RuntimeConfig config(RankId ranks) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  return cfg;
+}
+
+StrategyInput uniform_tasks_on_rank0(RankId ranks, std::size_t n,
+                                     double load = 1.0) {
+  StrategyInput input;
+  input.tasks.resize(static_cast<std::size_t>(ranks));
+  for (std::size_t i = 0; i < n; ++i) {
+    input.tasks[0].push_back({static_cast<TaskId>(i), load});
+  }
+  return input;
+}
+
+TEST(GreedyLB, PerfectSplitOfUniformTasks) {
+  rt::Runtime rt{config(4)};
+  GreedyStrategy strategy;
+  auto const input = uniform_tasks_on_rank0(4, 16);
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_NEAR(result.achieved_imbalance, 0.0, 1e-12);
+  // 12 of 16 tasks must leave rank 0.
+  EXPECT_EQ(result.migrations.size(), 12u);
+}
+
+TEST(GreedyLB, NearOptimalOnRandomInstances) {
+  Rng rng{61};
+  for (int trial = 0; trial < 10; ++trial) {
+    rt::Runtime rt{config(8)};
+    GreedyStrategy strategy;
+    StrategyInput input;
+    input.tasks.resize(8);
+    double total = 0.0;
+    double max_task = 0.0;
+    TaskId id = 0;
+    for (int i = 0; i < 60; ++i) {
+      double const load = rng.uniform(0.1, 2.0);
+      input.tasks[rng.index(8)].push_back({id++, load});
+      total += load;
+      max_task = std::max(max_task, load);
+    }
+    auto const result = strategy.balance(rt, input, LbParams::tempered());
+    double const opt_lower = std::max(total / 8.0, max_task);
+    auto const max_load = summarize(result.new_rank_loads).max;
+    EXPECT_LE(max_load, (4.0 / 3.0) * opt_lower + 1e-9);
+  }
+}
+
+TEST(GreedyLB, GatherScatterTrafficCounted) {
+  rt::Runtime rt{config(16)};
+  GreedyStrategy strategy;
+  auto const input = uniform_tasks_on_rank0(16, 32);
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  // At least one gather message per rank plus scatter.
+  EXPECT_GE(result.cost.lb_messages, 16u);
+  EXPECT_GT(result.cost.lb_bytes, 0u);
+}
+
+TEST(GreedyLB, EmptySystem) {
+  rt::Runtime rt{config(4)};
+  GreedyStrategy strategy;
+  StrategyInput input;
+  input.tasks.resize(4);
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_TRUE(result.migrations.empty());
+}
+
+TEST(GreedyLB, SingleRankNoMigrations) {
+  rt::Runtime rt{config(1)};
+  GreedyStrategy strategy;
+  auto const input = uniform_tasks_on_rank0(1, 5);
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_TRUE(result.migrations.empty());
+  EXPECT_NEAR(result.achieved_imbalance, 0.0, 1e-12);
+}
+
+TEST(GreedyLB, Deterministic) {
+  auto run_once = [] {
+    rt::Runtime rt{config(8)};
+    GreedyStrategy strategy;
+    StrategyInput input;
+    input.tasks.resize(8);
+    Rng rng{17};
+    TaskId id = 0;
+    for (int i = 0; i < 40; ++i) {
+      input.tasks[rng.index(8)].push_back({id++, rng.uniform(0.1, 2.0)});
+    }
+    return strategy.balance(rt, input, LbParams::tempered());
+  };
+  auto const a = run_once();
+  auto const b = run_once();
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+} // namespace
+} // namespace tlb::lb

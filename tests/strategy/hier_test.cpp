@@ -1,0 +1,122 @@
+#include "lb/strategy/hier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/strategy/greedy.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+rt::RuntimeConfig config(RankId ranks) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  return cfg;
+}
+
+StrategyInput clustered(RankId ranks, RankId loaded, std::size_t per_rank,
+                        std::uint64_t seed) {
+  StrategyInput input;
+  input.tasks.resize(static_cast<std::size_t>(ranks));
+  Rng rng{seed};
+  TaskId id = 0;
+  for (RankId r = 0; r < loaded; ++r) {
+    for (std::size_t i = 0; i < per_rank; ++i) {
+      input.tasks[static_cast<std::size_t>(r)].push_back(
+          {id++, rng.uniform(0.5, 1.5)});
+    }
+  }
+  return input;
+}
+
+TEST(HierLB, ReducesClusteredImbalance) {
+  rt::Runtime rt{config(64)};
+  HierStrategy strategy;
+  auto const input = clustered(64, 4, 40, 3);
+  double const before = imbalance(input.rank_loads());
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_LT(result.achieved_imbalance, 0.2 * before);
+}
+
+TEST(HierLB, QualityWithinReasonOfGreedy) {
+  // The paper's Fig. 3: HierLB quality is close to GreedyLB (1117s vs
+  // 1063s particle time, ~5%). Allow a generous factor here.
+  auto const input = clustered(36, 3, 50, 5);
+  rt::Runtime rt1{config(36)};
+  rt::Runtime rt2{config(36)};
+  HierStrategy hier;
+  GreedyStrategy greedy;
+  auto const h = hier.balance(rt1, input, LbParams::tempered());
+  auto const g = greedy.balance(rt2, input, LbParams::tempered());
+  auto const h_max = summarize(h.new_rank_loads).max;
+  auto const g_max = summarize(g.new_rank_loads).max;
+  EXPECT_LE(h_max, 1.6 * g_max);
+}
+
+TEST(HierLB, MigrationsAreConsistent) {
+  rt::Runtime rt{config(25)};
+  HierStrategy strategy;
+  auto const input = clustered(25, 2, 30, 7);
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  double input_total = 0.0;
+  for (auto const& tasks : input.tasks) {
+    for (auto const& t : tasks) {
+      input_total += t.load;
+    }
+  }
+  double projected = 0.0;
+  for (double const l : result.new_rank_loads) {
+    EXPECT_GE(l, -1e-9);
+    projected += l;
+  }
+  EXPECT_NEAR(projected, input_total, 1e-6);
+  for (auto const& m : result.migrations) {
+    EXPECT_NE(m.from, m.to);
+  }
+}
+
+TEST(HierLB, HandlesNonSquareRankCounts) {
+  for (RankId p : {3, 7, 10, 17}) {
+    rt::Runtime rt{config(p)};
+    HierStrategy strategy;
+    auto const input = clustered(p, 1, 4 * static_cast<std::size_t>(p), 9);
+    auto const result = strategy.balance(rt, input, LbParams::tempered());
+    EXPECT_LT(result.achieved_imbalance,
+              imbalance(input.rank_loads()) + 1e-9);
+  }
+}
+
+TEST(HierLB, EmptySystem) {
+  rt::Runtime rt{config(9)};
+  HierStrategy strategy;
+  StrategyInput input;
+  input.tasks.resize(9);
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_TRUE(result.migrations.empty());
+}
+
+TEST(HierLB, SingleRank) {
+  rt::Runtime rt{config(1)};
+  HierStrategy strategy;
+  StrategyInput input;
+  input.tasks.resize(1);
+  input.tasks[0] = {{0, 1.0}, {1, 2.0}};
+  auto const result = strategy.balance(rt, input, LbParams::tempered());
+  EXPECT_TRUE(result.migrations.empty());
+}
+
+TEST(HierLB, Deterministic) {
+  auto run_once = [] {
+    rt::Runtime rt{config(16)};
+    HierStrategy strategy;
+    auto const input = clustered(16, 2, 20, 21);
+    return strategy.balance(rt, input, LbParams::tempered());
+  };
+  auto const a = run_once();
+  auto const b = run_once();
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+} // namespace
+} // namespace tlb::lb

@@ -1,0 +1,123 @@
+#include "lb/strategy/lb_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+class Chunk final : public rt::Migratable {
+public:
+  explicit Chunk(std::size_t bytes) : bytes_{bytes} {}
+  [[nodiscard]] std::size_t wire_bytes() const override { return bytes_; }
+
+private:
+  std::size_t bytes_;
+};
+
+rt::RuntimeConfig config(RankId ranks) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  return cfg;
+}
+
+TEST(LbManager, GatherInputFromInstrumentation) {
+  rt::PhaseInstrumentation inst{3};
+  inst.record(0, 1, 2.0);
+  inst.record(2, 5, 4.0);
+  inst.start_phase();
+  auto const input = LbManager::gather_input(inst, 3);
+  ASSERT_EQ(input.tasks.size(), 3u);
+  ASSERT_EQ(input.tasks[0].size(), 1u);
+  EXPECT_EQ(input.tasks[0][0].id, 1);
+  EXPECT_DOUBLE_EQ(input.tasks[0][0].load, 2.0);
+  EXPECT_TRUE(input.tasks[1].empty());
+  ASSERT_EQ(input.tasks[2].size(), 1u);
+}
+
+TEST(LbManager, InvokeMovesObjectsAndRecordsReport) {
+  rt::Runtime rt{config(8)};
+  rt::ObjectStore store{8};
+  StrategyInput input;
+  input.tasks.resize(8);
+  Rng rng{3};
+  for (TaskId i = 0; i < 40; ++i) {
+    double const load = rng.uniform(0.5, 1.5);
+    input.tasks[0].push_back({i, load});
+    store.create(0, i, std::make_unique<Chunk>(64));
+  }
+
+  auto params = LbParams::tempered();
+  params.num_trials = 1;
+  params.num_iterations = 3;
+  params.rounds = 5;
+  LbManager manager{rt, "tempered", params};
+  auto const report = manager.invoke(input, store);
+
+  EXPECT_GT(report.imbalance_before, 5.0);
+  EXPECT_LT(report.imbalance_after, report.imbalance_before);
+  EXPECT_GT(report.cost.migration_count, 0u);
+  EXPECT_EQ(report.migration_payload_bytes,
+            report.cost.migration_count * 64u);
+  // Objects actually moved off rank 0.
+  EXPECT_LT(store.tasks_on(0).size(), 40u);
+  EXPECT_EQ(store.total_tasks(), 40u);
+  EXPECT_EQ(manager.history().size(), 1u);
+}
+
+TEST(LbManager, StrategyNameExposed) {
+  rt::Runtime rt{config(2)};
+  LbManager manager{rt, "greedy", LbParams::tempered()};
+  EXPECT_EQ(manager.strategy_name(), "greedy");
+}
+
+TEST(LbManager, DecideDoesNotTouchStore) {
+  rt::Runtime rt{config(4)};
+  StrategyInput input;
+  input.tasks.resize(4);
+  for (TaskId i = 0; i < 8; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+  }
+  LbManager manager{rt, "greedy", LbParams::tempered()};
+  auto const result = manager.decide(input);
+  EXPECT_FALSE(result.migrations.empty());
+  EXPECT_TRUE(manager.history().empty());
+}
+
+TEST(LbManager, UnknownStrategyThrowsAtConstruction) {
+  rt::Runtime rt{config(2)};
+  EXPECT_THROW(LbManager(rt, "bogus", LbParams::tempered()),
+               std::invalid_argument);
+}
+
+TEST(LbManager, RepeatedInvocationsTrackHistory) {
+  rt::Runtime rt{config(4)};
+  rt::ObjectStore store{4};
+  StrategyInput input;
+  input.tasks.resize(4);
+  for (TaskId i = 0; i < 12; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+    store.create(0, i, std::make_unique<Chunk>(8));
+  }
+  LbManager manager{rt, "greedy", LbParams::tempered()};
+  (void)manager.invoke(input, store);
+
+  // Second invocation from the new placement: build fresh input.
+  StrategyInput second;
+  second.tasks.resize(4);
+  for (RankId r = 0; r < 4; ++r) {
+    for (TaskId const id : store.tasks_on(r)) {
+      second.tasks[static_cast<std::size_t>(r)].push_back({id, 1.0});
+    }
+  }
+  auto const report = manager.invoke(second, store);
+  EXPECT_EQ(manager.history().size(), 2u);
+  // Already balanced: second invocation should migrate nothing.
+  EXPECT_EQ(report.cost.migration_count, 0u);
+  EXPECT_NEAR(report.imbalance_after, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace tlb::lb

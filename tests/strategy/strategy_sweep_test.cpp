@@ -1,0 +1,140 @@
+/// Parameterized sweep over every registered strategy: shared contracts
+/// each one must satisfy regardless of algorithm.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "lb/strategy/lb_manager.hpp"
+#include "lb/strategy/strategy.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::lb {
+namespace {
+
+class EveryStrategy : public ::testing::TestWithParam<std::string> {
+protected:
+  static StrategyInput clustered_input() {
+    StrategyInput input;
+    input.tasks.resize(24);
+    Rng rng{41};
+    TaskId id = 0;
+    for (RankId r = 0; r < 3; ++r) {
+      for (int i = 0; i < 30; ++i) {
+        input.tasks[static_cast<std::size_t>(r)].push_back(
+            {id++, rng.uniform(0.2, 1.4)});
+      }
+    }
+    return input;
+  }
+
+  static LbParams fast_params() {
+    auto p = LbParams::tempered();
+    p.rounds = 5;
+    p.num_trials = 2;
+    p.num_iterations = 3;
+    return p;
+  }
+};
+
+TEST_P(EveryStrategy, MigrationsAreWellFormed) {
+  auto const input = clustered_input();
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = 24;
+  rt::Runtime rt{cfg};
+  auto strategy = make_strategy(GetParam());
+  auto const result = strategy->balance(rt, input, fast_params());
+
+  std::map<TaskId, RankId> home;
+  double total_in = 0.0;
+  for (std::size_t r = 0; r < input.tasks.size(); ++r) {
+    for (auto const& t : input.tasks[r]) {
+      home[t.id] = static_cast<RankId>(r);
+      total_in += t.load;
+    }
+  }
+  std::set<TaskId> seen;
+  for (auto const& m : result.migrations) {
+    ASSERT_TRUE(home.count(m.task));
+    EXPECT_EQ(m.from, home[m.task]);
+    EXPECT_NE(m.from, m.to);
+    EXPECT_GE(m.to, 0);
+    EXPECT_LT(m.to, 24);
+    EXPECT_TRUE(seen.insert(m.task).second);
+  }
+  double total_out = 0.0;
+  for (double const l : result.new_rank_loads) {
+    total_out += l;
+  }
+  EXPECT_NEAR(total_in, total_out, 1e-6);
+  EXPECT_NEAR(result.achieved_imbalance, imbalance(result.new_rank_loads),
+              1e-9);
+}
+
+TEST_P(EveryStrategy, EmptySystemIsHandled) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = 8;
+  rt::Runtime rt{cfg};
+  StrategyInput input;
+  input.tasks.resize(8);
+  auto strategy = make_strategy(GetParam());
+  auto const result = strategy->balance(rt, input, fast_params());
+  EXPECT_TRUE(result.migrations.empty());
+}
+
+TEST_P(EveryStrategy, WorksThroughLbManagerWithObjectStore) {
+  class Chunk final : public rt::Migratable {
+  public:
+    [[nodiscard]] std::size_t wire_bytes() const override { return 32; }
+  };
+
+  auto const input = clustered_input();
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = 24;
+  rt::Runtime rt{cfg};
+  rt::ObjectStore store{24};
+  for (std::size_t r = 0; r < input.tasks.size(); ++r) {
+    for (auto const& t : input.tasks[r]) {
+      store.create(static_cast<RankId>(r), t.id,
+                   std::make_unique<Chunk>());
+    }
+  }
+  LbManager manager{rt, GetParam(), fast_params()};
+  auto const report = manager.invoke(input, store);
+  EXPECT_EQ(store.total_tasks(), 90u);
+  // Object placement matches the strategy's decisions.
+  EXPECT_EQ(report.migration_payload_bytes,
+            report.cost.migration_count * 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistered, EveryStrategy,
+                         ::testing::Values("tempered", "grapevine", "greedy",
+                                           "hier", "diffusion", "stealing",
+                                           "rotate", "random"));
+
+TEST(StrategySanity, UniformLoadNeedsNoBalancing) {
+  // A perfectly balanced system: serious balancers must leave it alone
+  // (or at least not worsen it).
+  StrategyInput input;
+  input.tasks.resize(16);
+  TaskId id = 0;
+  for (auto& tasks : input.tasks) {
+    tasks.push_back({id++, 1.0});
+  }
+  for (auto const name : {"tempered", "grapevine", "greedy", "hier",
+                          "diffusion", "stealing"}) {
+    rt::RuntimeConfig cfg;
+    cfg.num_ranks = 16;
+    rt::Runtime rt{cfg};
+    auto strategy = make_strategy(name);
+    auto const result =
+        strategy->balance(rt, input, LbParams::tempered());
+    EXPECT_NEAR(result.achieved_imbalance, 0.0, 1e-9) << name;
+  }
+}
+
+} // namespace
+} // namespace tlb::lb

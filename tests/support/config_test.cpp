@@ -1,0 +1,95 @@
+#include "support/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tlb {
+namespace {
+
+Options parse(std::initializer_list<char const*> args) {
+  std::vector<char const*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsForm) {
+  auto const o = parse({"--ranks=64", "--threshold=1.5"});
+  EXPECT_EQ(o.get_int("ranks", 0), 64);
+  EXPECT_DOUBLE_EQ(o.get_double("threshold", 0.0), 1.5);
+}
+
+TEST(Options, SpaceForm) {
+  auto const o = parse({"--ranks", "128"});
+  EXPECT_EQ(o.get_int("ranks", 0), 128);
+}
+
+TEST(Options, BooleanFlag) {
+  auto const o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_FALSE(o.get_bool("absent", false));
+  EXPECT_TRUE(o.get_bool("absent", true));
+}
+
+TEST(Options, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Options, DefaultsWhenMissing) {
+  auto const o = parse({});
+  EXPECT_EQ(o.get_int("ranks", 42), 42);
+  EXPECT_EQ(o.get_string("name", "x"), "x");
+  EXPECT_FALSE(o.has("ranks"));
+}
+
+TEST(Options, PositionalArguments) {
+  auto const o = parse({"file1", "--k=3", "file2"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "file1");
+  EXPECT_EQ(o.positional()[1], "file2");
+  EXPECT_EQ(o.get_int("k", 0), 3);
+}
+
+TEST(Options, MalformedIntegerThrows) {
+  auto const o = parse({"--ranks=abc"});
+  EXPECT_THROW((void)o.get_int("ranks", 0), std::invalid_argument);
+}
+
+TEST(Options, MalformedDoubleThrows) {
+  auto const o = parse({"--t=1.2.3"});
+  EXPECT_THROW((void)o.get_double("t", 0.0), std::invalid_argument);
+}
+
+TEST(Options, MalformedBoolThrows) {
+  auto const o = parse({"--flag=maybe"});
+  EXPECT_THROW((void)o.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Options, EmptyOptionNameThrows) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=5"}), std::invalid_argument);
+}
+
+TEST(Options, ProgrammaticSet) {
+  Options o;
+  o.set("mode", "fast");
+  EXPECT_EQ(o.get_string("mode", ""), "fast");
+}
+
+TEST(Options, LastDuplicateWins) {
+  auto const o = parse({"--ranks=4", "--ranks=8"});
+  EXPECT_EQ(o.get_int("ranks", 0), 8);
+}
+
+TEST(Options, NegativeNumbersAsValues) {
+  auto const o = parse({"--delta=-7"});
+  EXPECT_EQ(o.get_int("delta", 0), -7);
+}
+
+} // namespace
+} // namespace tlb

@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tlb {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"name", "value"}};
+  t.begin_row().add_cell("alpha").add_cell(1.5, 1);
+  t.begin_row().add_cell("b").add_cell(22.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  std::string const out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t{{"a", "b"}};
+  t.begin_row().add_cell("plain").add_cell("with,comma");
+  t.begin_row().add_cell("quote\"inside").add_cell("x");
+  std::ostringstream os;
+  t.print_csv(os);
+  std::string const out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundNumbers) {
+  Table t{{"x"}};
+  t.begin_row().add_cell(static_cast<std::size_t>(42));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n42\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t{{"a", "b", "c"}};
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.begin_row().add_cell(1).add_cell(2).add_cell(3);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t{{"i", "ll", "ull", "sz"}};
+  t.begin_row()
+      .add_cell(-1)
+      .add_cell(static_cast<long long>(-5))
+      .add_cell(static_cast<unsigned long long>(7))
+      .add_cell(static_cast<std::size_t>(9));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "i,ll,ull,sz\n-1,-5,7,9\n");
+}
+
+} // namespace
+} // namespace tlb
