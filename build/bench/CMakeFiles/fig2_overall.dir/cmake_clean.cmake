@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_overall.dir/fig2_overall.cpp.o"
+  "CMakeFiles/fig2_overall.dir/fig2_overall.cpp.o.d"
+  "fig2_overall"
+  "fig2_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_step_time.dir/fig4a_step_time.cpp.o"
+  "CMakeFiles/fig4a_step_time.dir/fig4a_step_time.cpp.o.d"
+  "fig4a_step_time"
+  "fig4a_step_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_step_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_rank_loads.dir/fig4b_rank_loads.cpp.o"
+  "CMakeFiles/fig4b_rank_loads.dir/fig4b_rank_loads.cpp.o.d"
+  "fig4b_rank_loads"
+  "fig4b_rank_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_rank_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_imbalance.dir/fig4c_imbalance.cpp.o"
+  "CMakeFiles/fig4c_imbalance.dir/fig4c_imbalance.cpp.o.d"
+  "fig4c_imbalance"
+  "fig4c_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

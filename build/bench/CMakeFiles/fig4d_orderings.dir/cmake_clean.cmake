@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_orderings.dir/fig4d_orderings.cpp.o"
+  "CMakeFiles/fig4d_orderings.dir/fig4d_orderings.cpp.o.d"
+  "fig4d_orderings"
+  "fig4d_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

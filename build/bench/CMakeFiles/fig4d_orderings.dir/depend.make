@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4d_orderings.
+# This may be replaced when dependencies are built.

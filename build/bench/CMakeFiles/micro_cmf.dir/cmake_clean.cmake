@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cmf.dir/micro_cmf.cpp.o"
+  "CMakeFiles/micro_cmf.dir/micro_cmf.cpp.o.d"
+  "micro_cmf"
+  "micro_cmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

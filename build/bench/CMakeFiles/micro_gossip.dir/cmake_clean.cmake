@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gossip.dir/micro_gossip.cpp.o"
+  "CMakeFiles/micro_gossip.dir/micro_gossip.cpp.o.d"
+  "micro_gossip"
+  "micro_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transfer.dir/micro_transfer.cpp.o"
+  "CMakeFiles/micro_transfer.dir/micro_transfer.cpp.o.d"
+  "micro_transfer"
+  "micro_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_adaptive_trigger.dir/table_adaptive_trigger.cpp.o"
+  "CMakeFiles/table_adaptive_trigger.dir/table_adaptive_trigger.cpp.o.d"
+  "table_adaptive_trigger"
+  "table_adaptive_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_adaptive_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_criterion_compare.dir/table_criterion_compare.cpp.o"
+  "CMakeFiles/table_criterion_compare.dir/table_criterion_compare.cpp.o.d"
+  "table_criterion_compare"
+  "table_criterion_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_criterion_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

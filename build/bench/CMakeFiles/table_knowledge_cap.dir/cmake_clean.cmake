@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_knowledge_cap.dir/table_knowledge_cap.cpp.o"
+  "CMakeFiles/table_knowledge_cap.dir/table_knowledge_cap.cpp.o.d"
+  "table_knowledge_cap"
+  "table_knowledge_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_knowledge_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_nacks.dir/table_nacks.cpp.o"
+  "CMakeFiles/table_nacks.dir/table_nacks.cpp.o.d"
+  "table_nacks"
+  "table_nacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_nacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_original_criterion.dir/table_original_criterion.cpp.o"
+  "CMakeFiles/table_original_criterion.dir/table_original_criterion.cpp.o.d"
+  "table_original_criterion"
+  "table_original_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_original_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

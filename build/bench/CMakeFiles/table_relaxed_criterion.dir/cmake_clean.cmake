@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_relaxed_criterion.dir/table_relaxed_criterion.cpp.o"
+  "CMakeFiles/table_relaxed_criterion.dir/table_relaxed_criterion.cpp.o.d"
+  "table_relaxed_criterion"
+  "table_relaxed_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_relaxed_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_trials_sweep.dir/table_trials_sweep.cpp.o"
+  "CMakeFiles/table_trials_sweep.dir/table_trials_sweep.cpp.o.d"
+  "table_trials_sweep"
+  "table_trials_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_trials_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_workload.dir/amr_workload.cpp.o"
+  "CMakeFiles/amr_workload.dir/amr_workload.cpp.o.d"
+  "amr_workload"
+  "amr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_demo.dir/gossip_demo.cpp.o"
+  "CMakeFiles/gossip_demo.dir/gossip_demo.cpp.o.d"
+  "gossip_demo"
+  "gossip_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

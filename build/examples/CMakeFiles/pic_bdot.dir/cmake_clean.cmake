@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pic_bdot.dir/pic_bdot.cpp.o"
+  "CMakeFiles/pic_bdot.dir/pic_bdot.cpp.o.d"
+  "pic_bdot"
+  "pic_bdot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pic_bdot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pic_bdot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tour.dir/runtime_tour.cpp.o"
+  "CMakeFiles/runtime_tour.dir/runtime_tour.cpp.o.d"
+  "runtime_tour"
+  "runtime_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

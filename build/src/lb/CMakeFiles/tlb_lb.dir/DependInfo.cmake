@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/cmf.cpp" "src/lb/CMakeFiles/tlb_lb.dir/cmf.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/cmf.cpp.o.d"
+  "/root/repo/src/lb/knowledge.cpp" "src/lb/CMakeFiles/tlb_lb.dir/knowledge.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/knowledge.cpp.o.d"
+  "/root/repo/src/lb/lb_types.cpp" "src/lb/CMakeFiles/tlb_lb.dir/lb_types.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/lb_types.cpp.o.d"
+  "/root/repo/src/lb/order.cpp" "src/lb/CMakeFiles/tlb_lb.dir/order.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/order.cpp.o.d"
+  "/root/repo/src/lb/strategy/baselines.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/baselines.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/baselines.cpp.o.d"
+  "/root/repo/src/lb/strategy/diffusion.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/diffusion.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/diffusion.cpp.o.d"
+  "/root/repo/src/lb/strategy/gossip_strategy.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/gossip_strategy.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/gossip_strategy.cpp.o.d"
+  "/root/repo/src/lb/strategy/greedy.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/greedy.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/greedy.cpp.o.d"
+  "/root/repo/src/lb/strategy/hier.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/hier.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/hier.cpp.o.d"
+  "/root/repo/src/lb/strategy/lb_manager.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/lb_manager.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/lb_manager.cpp.o.d"
+  "/root/repo/src/lb/strategy/stealing.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/stealing.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/stealing.cpp.o.d"
+  "/root/repo/src/lb/strategy/strategy.cpp" "src/lb/CMakeFiles/tlb_lb.dir/strategy/strategy.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/strategy/strategy.cpp.o.d"
+  "/root/repo/src/lb/transfer.cpp" "src/lb/CMakeFiles/tlb_lb.dir/transfer.cpp.o" "gcc" "src/lb/CMakeFiles/tlb_lb.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tlb_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_lb.dir/cmf.cpp.o"
+  "CMakeFiles/tlb_lb.dir/cmf.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/knowledge.cpp.o"
+  "CMakeFiles/tlb_lb.dir/knowledge.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/lb_types.cpp.o"
+  "CMakeFiles/tlb_lb.dir/lb_types.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/order.cpp.o"
+  "CMakeFiles/tlb_lb.dir/order.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/baselines.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/baselines.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/diffusion.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/diffusion.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/gossip_strategy.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/gossip_strategy.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/greedy.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/greedy.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/hier.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/hier.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/lb_manager.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/lb_manager.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/stealing.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/stealing.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/strategy/strategy.cpp.o"
+  "CMakeFiles/tlb_lb.dir/strategy/strategy.cpp.o.d"
+  "CMakeFiles/tlb_lb.dir/transfer.cpp.o"
+  "CMakeFiles/tlb_lb.dir/transfer.cpp.o.d"
+  "libtlb_lb.a"
+  "libtlb_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbaf/assignment.cpp" "src/lbaf/CMakeFiles/tlb_lbaf.dir/assignment.cpp.o" "gcc" "src/lbaf/CMakeFiles/tlb_lbaf.dir/assignment.cpp.o.d"
+  "/root/repo/src/lbaf/experiment.cpp" "src/lbaf/CMakeFiles/tlb_lbaf.dir/experiment.cpp.o" "gcc" "src/lbaf/CMakeFiles/tlb_lbaf.dir/experiment.cpp.o.d"
+  "/root/repo/src/lbaf/gossip_sim.cpp" "src/lbaf/CMakeFiles/tlb_lbaf.dir/gossip_sim.cpp.o" "gcc" "src/lbaf/CMakeFiles/tlb_lbaf.dir/gossip_sim.cpp.o.d"
+  "/root/repo/src/lbaf/greedy_ref.cpp" "src/lbaf/CMakeFiles/tlb_lbaf.dir/greedy_ref.cpp.o" "gcc" "src/lbaf/CMakeFiles/tlb_lbaf.dir/greedy_ref.cpp.o.d"
+  "/root/repo/src/lbaf/workload.cpp" "src/lbaf/CMakeFiles/tlb_lbaf.dir/workload.cpp.o" "gcc" "src/lbaf/CMakeFiles/tlb_lbaf.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/tlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tlb_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_lbaf.dir/assignment.cpp.o"
+  "CMakeFiles/tlb_lbaf.dir/assignment.cpp.o.d"
+  "CMakeFiles/tlb_lbaf.dir/experiment.cpp.o"
+  "CMakeFiles/tlb_lbaf.dir/experiment.cpp.o.d"
+  "CMakeFiles/tlb_lbaf.dir/gossip_sim.cpp.o"
+  "CMakeFiles/tlb_lbaf.dir/gossip_sim.cpp.o.d"
+  "CMakeFiles/tlb_lbaf.dir/greedy_ref.cpp.o"
+  "CMakeFiles/tlb_lbaf.dir/greedy_ref.cpp.o.d"
+  "CMakeFiles/tlb_lbaf.dir/workload.cpp.o"
+  "CMakeFiles/tlb_lbaf.dir/workload.cpp.o.d"
+  "libtlb_lbaf.a"
+  "libtlb_lbaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_lbaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pic/app.cpp" "src/pic/CMakeFiles/tlb_pic.dir/app.cpp.o" "gcc" "src/pic/CMakeFiles/tlb_pic.dir/app.cpp.o.d"
+  "/root/repo/src/pic/bdot.cpp" "src/pic/CMakeFiles/tlb_pic.dir/bdot.cpp.o" "gcc" "src/pic/CMakeFiles/tlb_pic.dir/bdot.cpp.o.d"
+  "/root/repo/src/pic/field.cpp" "src/pic/CMakeFiles/tlb_pic.dir/field.cpp.o" "gcc" "src/pic/CMakeFiles/tlb_pic.dir/field.cpp.o.d"
+  "/root/repo/src/pic/mesh.cpp" "src/pic/CMakeFiles/tlb_pic.dir/mesh.cpp.o" "gcc" "src/pic/CMakeFiles/tlb_pic.dir/mesh.cpp.o.d"
+  "/root/repo/src/pic/particles.cpp" "src/pic/CMakeFiles/tlb_pic.dir/particles.cpp.o" "gcc" "src/pic/CMakeFiles/tlb_pic.dir/particles.cpp.o.d"
+  "/root/repo/src/pic/trace.cpp" "src/pic/CMakeFiles/tlb_pic.dir/trace.cpp.o" "gcc" "src/pic/CMakeFiles/tlb_pic.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/tlb_lb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_pic.dir/app.cpp.o"
+  "CMakeFiles/tlb_pic.dir/app.cpp.o.d"
+  "CMakeFiles/tlb_pic.dir/bdot.cpp.o"
+  "CMakeFiles/tlb_pic.dir/bdot.cpp.o.d"
+  "CMakeFiles/tlb_pic.dir/field.cpp.o"
+  "CMakeFiles/tlb_pic.dir/field.cpp.o.d"
+  "CMakeFiles/tlb_pic.dir/mesh.cpp.o"
+  "CMakeFiles/tlb_pic.dir/mesh.cpp.o.d"
+  "CMakeFiles/tlb_pic.dir/particles.cpp.o"
+  "CMakeFiles/tlb_pic.dir/particles.cpp.o.d"
+  "CMakeFiles/tlb_pic.dir/trace.cpp.o"
+  "CMakeFiles/tlb_pic.dir/trace.cpp.o.d"
+  "libtlb_pic.a"
+  "libtlb_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/object_store.cpp" "src/runtime/CMakeFiles/tlb_runtime.dir/object_store.cpp.o" "gcc" "src/runtime/CMakeFiles/tlb_runtime.dir/object_store.cpp.o.d"
+  "/root/repo/src/runtime/phase.cpp" "src/runtime/CMakeFiles/tlb_runtime.dir/phase.cpp.o" "gcc" "src/runtime/CMakeFiles/tlb_runtime.dir/phase.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/tlb_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/tlb_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/termination.cpp" "src/runtime/CMakeFiles/tlb_runtime.dir/termination.cpp.o" "gcc" "src/runtime/CMakeFiles/tlb_runtime.dir/termination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_runtime.dir/object_store.cpp.o"
+  "CMakeFiles/tlb_runtime.dir/object_store.cpp.o.d"
+  "CMakeFiles/tlb_runtime.dir/phase.cpp.o"
+  "CMakeFiles/tlb_runtime.dir/phase.cpp.o.d"
+  "CMakeFiles/tlb_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/tlb_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/tlb_runtime.dir/termination.cpp.o"
+  "CMakeFiles/tlb_runtime.dir/termination.cpp.o.d"
+  "libtlb_runtime.a"
+  "libtlb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

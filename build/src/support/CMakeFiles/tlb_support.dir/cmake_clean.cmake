@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_support.dir/config.cpp.o"
+  "CMakeFiles/tlb_support.dir/config.cpp.o.d"
+  "CMakeFiles/tlb_support.dir/logging.cpp.o"
+  "CMakeFiles/tlb_support.dir/logging.cpp.o.d"
+  "CMakeFiles/tlb_support.dir/rng.cpp.o"
+  "CMakeFiles/tlb_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tlb_support.dir/stats.cpp.o"
+  "CMakeFiles/tlb_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tlb_support.dir/table.cpp.o"
+  "CMakeFiles/tlb_support.dir/table.cpp.o.d"
+  "libtlb_support.a"
+  "libtlb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

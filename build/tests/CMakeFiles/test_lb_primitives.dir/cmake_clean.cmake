@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_primitives.dir/lb/cmf_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/cmf_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/criterion_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/criterion_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/knowledge_cap_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/knowledge_cap_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/knowledge_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/knowledge_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/lb_types_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/lb_types_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/order_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/order_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/transfer_grid_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/transfer_grid_test.cpp.o.d"
+  "CMakeFiles/test_lb_primitives.dir/lb/transfer_test.cpp.o"
+  "CMakeFiles/test_lb_primitives.dir/lb/transfer_test.cpp.o.d"
+  "test_lb_primitives"
+  "test_lb_primitives.pdb"
+  "test_lb_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

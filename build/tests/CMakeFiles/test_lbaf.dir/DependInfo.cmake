@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lbaf/assignment_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/assignment_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/assignment_test.cpp.o.d"
+  "/root/repo/tests/lbaf/experiment_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/experiment_test.cpp.o.d"
+  "/root/repo/tests/lbaf/gossip_sim_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/gossip_sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/gossip_sim_test.cpp.o.d"
+  "/root/repo/tests/lbaf/greedy_ref_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/greedy_ref_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/greedy_ref_test.cpp.o.d"
+  "/root/repo/tests/lbaf/knowledge_cap_experiment_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/knowledge_cap_experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/knowledge_cap_experiment_test.cpp.o.d"
+  "/root/repo/tests/lbaf/table_regression_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/table_regression_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/table_regression_test.cpp.o.d"
+  "/root/repo/tests/lbaf/workload_test.cpp" "tests/CMakeFiles/test_lbaf.dir/lbaf/workload_test.cpp.o" "gcc" "tests/CMakeFiles/test_lbaf.dir/lbaf/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/tlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbaf/CMakeFiles/tlb_lbaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pic/CMakeFiles/tlb_pic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

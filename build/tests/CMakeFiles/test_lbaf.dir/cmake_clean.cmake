@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbaf.dir/lbaf/assignment_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/assignment_test.cpp.o.d"
+  "CMakeFiles/test_lbaf.dir/lbaf/experiment_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/experiment_test.cpp.o.d"
+  "CMakeFiles/test_lbaf.dir/lbaf/gossip_sim_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/gossip_sim_test.cpp.o.d"
+  "CMakeFiles/test_lbaf.dir/lbaf/greedy_ref_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/greedy_ref_test.cpp.o.d"
+  "CMakeFiles/test_lbaf.dir/lbaf/knowledge_cap_experiment_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/knowledge_cap_experiment_test.cpp.o.d"
+  "CMakeFiles/test_lbaf.dir/lbaf/table_regression_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/table_regression_test.cpp.o.d"
+  "CMakeFiles/test_lbaf.dir/lbaf/workload_test.cpp.o"
+  "CMakeFiles/test_lbaf.dir/lbaf/workload_test.cpp.o.d"
+  "test_lbaf"
+  "test_lbaf.pdb"
+  "test_lbaf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pic/app_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/app_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/app_test.cpp.o.d"
+  "/root/repo/tests/pic/bdot_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/bdot_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/bdot_test.cpp.o.d"
+  "/root/repo/tests/pic/field_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/field_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/field_test.cpp.o.d"
+  "/root/repo/tests/pic/locality_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/locality_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/locality_test.cpp.o.d"
+  "/root/repo/tests/pic/mesh_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/mesh_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/mesh_test.cpp.o.d"
+  "/root/repo/tests/pic/particles_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/particles_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/particles_test.cpp.o.d"
+  "/root/repo/tests/pic/persistence_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/persistence_test.cpp.o.d"
+  "/root/repo/tests/pic/trace_test.cpp" "tests/CMakeFiles/test_pic.dir/pic/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_pic.dir/pic/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/tlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbaf/CMakeFiles/tlb_lbaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pic/CMakeFiles/tlb_pic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pic.dir/pic/app_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/app_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/bdot_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/bdot_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/field_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/field_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/locality_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/locality_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/mesh_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/mesh_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/particles_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/particles_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/persistence_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/persistence_test.cpp.o.d"
+  "CMakeFiles/test_pic.dir/pic/trace_test.cpp.o"
+  "CMakeFiles/test_pic.dir/pic/trace_test.cpp.o.d"
+  "test_pic"
+  "test_pic.pdb"
+  "test_pic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/collectives_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/collectives_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/mailbox_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/mailbox_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/object_store_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/object_store_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/phase_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/phase_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/random_delivery_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/random_delivery_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/runtime_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/runtime_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/scheduling_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/scheduling_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/serialize_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/serialize_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/termination_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/termination_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

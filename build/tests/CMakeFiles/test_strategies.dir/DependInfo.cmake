@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strategy/baselines_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/baselines_test.cpp.o.d"
+  "/root/repo/tests/strategy/diffusion_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/diffusion_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/diffusion_test.cpp.o.d"
+  "/root/repo/tests/strategy/extensions_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/extensions_test.cpp.o.d"
+  "/root/repo/tests/strategy/gossip_strategy_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/gossip_strategy_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/gossip_strategy_test.cpp.o.d"
+  "/root/repo/tests/strategy/greedy_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/greedy_test.cpp.o.d"
+  "/root/repo/tests/strategy/hier_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/hier_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/hier_test.cpp.o.d"
+  "/root/repo/tests/strategy/lb_manager_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/lb_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/lb_manager_test.cpp.o.d"
+  "/root/repo/tests/strategy/stealing_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/stealing_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/stealing_test.cpp.o.d"
+  "/root/repo/tests/strategy/strategy_sweep_test.cpp" "tests/CMakeFiles/test_strategies.dir/strategy/strategy_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategy/strategy_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tlb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/tlb_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lbaf/CMakeFiles/tlb_lbaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pic/CMakeFiles/tlb_pic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategies.dir/strategy/baselines_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/baselines_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/diffusion_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/diffusion_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/extensions_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/extensions_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/gossip_strategy_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/gossip_strategy_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/greedy_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/greedy_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/hier_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/hier_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/lb_manager_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/lb_manager_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/stealing_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/stealing_test.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategy/strategy_sweep_test.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategy/strategy_sweep_test.cpp.o.d"
+  "test_strategies"
+  "test_strategies.pdb"
+  "test_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
