@@ -69,6 +69,38 @@ void BM_TransferRelaxedBuildOnce(benchmark::State& state) {
 }
 BENCHMARK(BM_TransferRelaxedBuildOnce)->Arg(24)->Arg(256)->Arg(2048);
 
+/// Head-to-head at |S^p| = range(1) known ranks: the recompute reference
+/// pays O(tasks x |S^p|), the incremental mode O(tasks x log |S^p|). The
+/// acceptance bar is incremental < recompute at every (tasks, knowledge)
+/// size, with the gap widening toward 4096-rank knowledge.
+void run_knowledge_case(benchmark::State& state, LbParams params) {
+  auto const num_tasks = static_cast<std::size_t>(state.range(0));
+  auto const known = static_cast<std::size_t>(state.range(1));
+  auto const fixture = make_fixture(num_tasks, known);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Knowledge knowledge = fixture.knowledge;
+    Rng rng{seed++};
+    auto result = run_transfer(params, 0, fixture.tasks, fixture.l_p,
+                               fixture.l_ave, knowledge, rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(num_tasks));
+}
+
+void BM_TransferRecomputeByKnowledge(benchmark::State& state) {
+  run_knowledge_case(state, LbParams::tempered());
+}
+BENCHMARK(BM_TransferRecomputeByKnowledge)
+    ->ArgsProduct({{24, 256, 2048}, {16, 256, 4096}});
+
+void BM_TransferIncrementalByKnowledge(benchmark::State& state) {
+  run_knowledge_case(state, LbParams::tempered_fast());
+}
+BENCHMARK(BM_TransferIncrementalByKnowledge)
+    ->ArgsProduct({{24, 256, 2048}, {16, 256, 4096}});
+
 void BM_OrderingCost(benchmark::State& state) {
   auto const kind = static_cast<OrderKind>(state.range(1));
   auto const fixture =

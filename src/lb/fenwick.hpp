@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file fenwick.hpp
+/// A Fenwick (binary-indexed) tree over non-negative double weights: the
+/// sampling substrate of IncrementalCmf. Supports O(n) bulk build, O(log n)
+/// point add, O(log n) prefix sums, and the classic O(log n) prefix-search
+/// descent ("find the first element whose cumulative weight exceeds t"),
+/// which turns an inverse-CMF draw into a tree walk instead of a rebuilt
+/// cumulative vector.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+class FenwickTree {
+public:
+  FenwickTree() = default;
+
+  /// Bulk build from `weights` in O(n): seed each node with its own value,
+  /// then push partial sums to each node's parent range.
+  explicit FenwickTree(std::vector<double> const& weights) {
+    assign(weights);
+  }
+
+  void assign(std::vector<double> const& weights) {
+    n_ = weights.size();
+    tree_.assign(n_ + 1, 0.0);
+    for (std::size_t i = 1; i <= n_; ++i) {
+      tree_[i] += weights[i - 1];
+      std::size_t const parent = i + (i & (~i + 1));
+      if (parent <= n_) {
+        tree_[parent] += tree_[i];
+      }
+    }
+    // Highest power of two <= n, precomputed for the descent.
+    top_ = 1;
+    while ((top_ << 1) <= n_) {
+      top_ <<= 1;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Add `delta` to the weight at 0-based index `i`.
+  void add(std::size_t i, double delta) {
+    TLB_EXPECTS(i < n_);
+    for (std::size_t j = i + 1; j <= n_; j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of the first `count` weights (0-based exclusive prefix).
+  [[nodiscard]] double prefix(std::size_t count) const {
+    TLB_EXPECTS(count <= n_);
+    double sum = 0.0;
+    for (std::size_t j = count; j > 0; j -= j & (~j + 1)) {
+      sum += tree_[j];
+    }
+    return sum;
+  }
+
+  /// Total weight (prefix over everything).
+  [[nodiscard]] double total() const { return prefix(n_); }
+
+  /// Largest `j` such that prefix(j) <= target, i.e. the 0-based index of
+  /// the first element whose cumulative weight exceeds `target`. Elements
+  /// with zero weight are never selected (their cumulative sum ties the
+  /// predecessor's, so the descent walks past them). A `target` at or
+  /// beyond total() returns size(); callers clamp.
+  [[nodiscard]] std::size_t lower_bound(double target) const {
+    std::size_t pos = 0;
+    for (std::size_t step = top_; step > 0; step >>= 1) {
+      std::size_t const next = pos + step;
+      if (next <= n_ && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;
+  }
+
+private:
+  std::size_t n_ = 0;
+  std::size_t top_ = 1;
+  std::vector<double> tree_; // 1-indexed implicit binary-indexed layout
+};
+
+} // namespace tlb::lb

@@ -1,0 +1,117 @@
+#include "lb/incremental_cmf.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tlb::lb {
+
+IncrementalCmf::IncrementalCmf(CmfKind kind, std::span<KnownRank const> known,
+                               LoadType l_ave, RankId self)
+    : kind_{kind}, self_{self}, l_ave_{l_ave} {
+  rebuild(known);
+  rebuilds_ = 0; // the constructor's build is not an escalation
+}
+
+void IncrementalCmf::rebuild(std::span<KnownRank const> known) {
+  ranks_.clear();
+  loads_.clear();
+  ranks_.reserve(known.size());
+  loads_.reserve(known.size());
+  for (KnownRank const& e : known) {
+    if (e.rank == self_) {
+      continue;
+    }
+    ranks_.push_back(e.rank);
+    loads_.push_back(e.load);
+  }
+  rebuild_weights();
+}
+
+void IncrementalCmf::rebuild_weights() {
+  ++rebuilds_;
+  l_s_ = l_ave_;
+  if (kind_ == CmfKind::modified) {
+    for (LoadType const l : loads_) {
+      l_s_ = std::max(l_s_, l);
+    }
+  }
+  weights_.assign(loads_.size(), 0.0);
+  positive_ = 0;
+  if (l_s_ > 0.0) {
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      double const w = weight_of(loads_[i]);
+      weights_[i] = w;
+      positive_ += w > 0.0 ? 1 : 0;
+    }
+  }
+  tree_.assign(weights_);
+}
+
+double IncrementalCmf::weight_of(LoadType load) const {
+  double const w = 1.0 - load / l_s_;
+  return w > 0.0 ? w : 0.0;
+}
+
+std::size_t IncrementalCmf::index_of(RankId rank) const {
+  auto const it = std::lower_bound(ranks_.begin(), ranks_.end(), rank);
+  TLB_EXPECTS(it != ranks_.end() && *it == rank);
+  return static_cast<std::size_t>(it - ranks_.begin());
+}
+
+bool IncrementalCmf::contains(RankId rank) const {
+  auto const it = std::lower_bound(ranks_.begin(), ranks_.end(), rank);
+  return it != ranks_.end() && *it == rank;
+}
+
+void IncrementalCmf::add_load(RankId rank, LoadType delta) {
+  auto const i = index_of(rank);
+  LoadType const old_load = loads_[i];
+  LoadType const new_load = old_load + delta;
+  loads_[i] = new_load;
+
+  if (kind_ == CmfKind::modified &&
+      (new_load > l_s_ || (old_load >= l_s_ && new_load < old_load))) {
+    // Normalizer shift: the updated rank either overtook l_s or was the
+    // rank realizing it and shrank. Every weight changes; O(n) refill.
+    rebuild_weights();
+    return;
+  }
+  if (l_s_ <= 0.0) {
+    return; // degenerate normalizer: nothing is sampleable regardless
+  }
+  double const old_w = weights_[i];
+  double const new_w = weight_of(new_load);
+  weights_[i] = new_w;
+  positive_ += (new_w > 0.0 ? 1 : 0) - (old_w > 0.0 ? 1 : 0);
+  tree_.add(i, new_w - old_w);
+}
+
+RankId IncrementalCmf::sample(Rng& rng) const {
+  TLB_EXPECTS(!empty());
+  double const u = rng.uniform();
+  auto idx = tree_.lower_bound(u * tree_.total());
+  if (idx >= ranks_.size()) {
+    // u*total reached total() through rounding: clamp to the last
+    // sampleable entry, exactly as Cmf pins its last bucket to 1.0.
+    idx = ranks_.size() - 1;
+    while (idx > 0 && weights_[idx] <= 0.0) {
+      --idx;
+    }
+  }
+  return ranks_[idx];
+}
+
+double IncrementalCmf::probability_of(RankId rank) const {
+  auto const it = std::lower_bound(ranks_.begin(), ranks_.end(), rank);
+  if (it == ranks_.end() || *it != rank) {
+    return 0.0;
+  }
+  double const total = tree_.total();
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return weights_[static_cast<std::size_t>(it - ranks_.begin())] / total;
+}
+
+} // namespace tlb::lb

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file incremental_cmf.hpp
+/// Incrementally maintained transfer CMF (the perf counterpart of Cmf).
+///
+/// The recompute-per-candidate change (§V-A change #3) rebuilds BUILDCMF's
+/// cumulative vector for every candidate task, making the transfer stage
+/// O(tasks x |S^p|). But between consecutive candidates the knowledge
+/// changes in exactly one entry — the sampled recipient's speculative load
+/// grows — so the distribution can be maintained instead of rebuilt:
+///
+///   - point update of one rank's weight w_i = 1 − LOAD(i)/l_s:  O(log n)
+///   - inverse-CMF sample via Fenwick prefix search:             O(log n)
+///   - full rebuild, only when the normalizer l_s shifts (modified
+///     CMF with a load pushed past the current max) or when the
+///     knowledge membership itself changes:                      O(n)
+///
+/// Sampling draws one uniform variate per call and selects the same rank a
+/// freshly built Cmf over the same knowledge would select, up to
+/// floating-point rounding at bucket boundaries (the Fenwick prefix sums
+/// associate additions differently than Cmf's left-to-right scan; the
+/// discrepancy window per boundary is a few ulp).
+
+#include <span>
+#include <vector>
+
+#include "lb/fenwick.hpp"
+#include "lb/knowledge.hpp"
+#include "lb/lb_types.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::lb {
+
+class IncrementalCmf {
+public:
+  /// Build from the current knowledge in O(n). `self` is excluded (a rank
+  /// never transfers to itself).
+  IncrementalCmf(CmfKind kind, std::span<KnownRank const> known,
+                 LoadType l_ave, RankId self);
+
+  /// Re-adopt a knowledge snapshot whose membership changed (insert /
+  /// truncate between epochs). O(n).
+  void rebuild(std::span<KnownRank const> known);
+
+  /// Mirror Knowledge::add_load for a tracked rank: O(log n) point update,
+  /// escalating to an O(n) weight rebuild only when the modified-CMF
+  /// normalizer l_s = max(l_ave, max LOAD^p) shifts. Precondition: `rank`
+  /// is tracked (known and not self).
+  void add_load(RankId rank, LoadType delta);
+
+  /// True when no tracked rank has positive headroom (sampling impossible).
+  [[nodiscard]] bool empty() const { return positive_ == 0; }
+
+  /// Number of tracked (non-self) knowledge entries, sampleable or not.
+  [[nodiscard]] std::size_t size() const { return ranks_.size(); }
+  /// Number of entries with positive sampling weight.
+  [[nodiscard]] std::size_t sampleable() const { return positive_; }
+
+  [[nodiscard]] bool contains(RankId rank) const;
+
+  /// Sample a recipient rank; precondition: !empty(). O(log n).
+  [[nodiscard]] RankId sample(Rng& rng) const;
+
+  /// Probability currently assigned to `rank` (0 for untracked or
+  /// fully-loaded ranks). For tests and cross-validation against Cmf.
+  [[nodiscard]] double probability_of(RankId rank) const;
+
+  /// The normalizer l_s currently in effect.
+  [[nodiscard]] LoadType normalizer() const { return l_s_; }
+
+  /// Number of O(n) weight rebuilds since construction (normalizer shifts
+  /// and explicit rebuild() calls); observability for tests and benches.
+  [[nodiscard]] std::size_t rebuild_count() const { return rebuilds_; }
+
+private:
+  /// Recompute l_s from the tracked loads and refill every weight. O(n).
+  void rebuild_weights();
+  [[nodiscard]] std::size_t index_of(RankId rank) const;
+  [[nodiscard]] double weight_of(LoadType load) const;
+
+  CmfKind kind_ = CmfKind::original;
+  RankId self_ = invalid_rank;
+  LoadType l_ave_ = 0.0;
+  LoadType l_s_ = 0.0;
+  std::vector<RankId> ranks_;    // sorted by rank id (knowledge order)
+  std::vector<LoadType> loads_;  // last-known load per tracked rank
+  std::vector<double> weights_;  // max(0, 1 - load/l_s) per tracked rank
+  FenwickTree tree_;
+  std::size_t positive_ = 0; // count of weights_ entries > 0
+  std::size_t rebuilds_ = 0;
+};
+
+} // namespace tlb::lb

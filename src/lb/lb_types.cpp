@@ -27,6 +27,12 @@ LbParams LbParams::tempered() {
   return p;
 }
 
+LbParams LbParams::tempered_fast() {
+  LbParams p = tempered();
+  p.refresh = CmfRefresh::incremental;
+  return p;
+}
+
 std::string_view to_string(CmfKind kind) {
   switch (kind) {
   case CmfKind::original: return "original";
@@ -39,6 +45,7 @@ std::string_view to_string(CmfRefresh refresh) {
   switch (refresh) {
   case CmfRefresh::build_once: return "build_once";
   case CmfRefresh::recompute: return "recompute";
+  case CmfRefresh::incremental: return "incremental";
   }
   return "?";
 }

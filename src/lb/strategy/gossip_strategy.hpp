@@ -18,6 +18,12 @@
 /// GrapevineLB is the same machinery restricted to the original design
 /// point: one trial, one iteration, original criterion and CMF built once,
 /// arbitrary order, and unconditional acceptance of the outcome.
+///
+/// tempered_fast is TemperedLB with the Fenwick-backed incremental CMF
+/// (CmfRefresh::incremental) pinned: identical protocol and criterion, the
+/// per-candidate CMF maintenance drops from O(|S^p|) to O(log |S^p|). The
+/// plain tempered flavor keeps recompute as the reference path for
+/// cross-validation.
 
 #include "lb/knowledge.hpp"
 #include "lb/strategy/strategy.hpp"
@@ -26,12 +32,17 @@ namespace tlb::lb {
 
 class GossipStrategy final : public Strategy {
 public:
-  enum class Flavor { grapevine, tempered };
+  enum class Flavor { grapevine, tempered, tempered_fast };
 
   explicit GossipStrategy(Flavor flavor) : flavor_{flavor} {}
 
   [[nodiscard]] std::string_view name() const override {
-    return flavor_ == Flavor::tempered ? "tempered" : "grapevine";
+    switch (flavor_) {
+    case Flavor::grapevine: return "grapevine";
+    case Flavor::tempered: return "tempered";
+    case Flavor::tempered_fast: return "tempered_fast";
+    }
+    return "?";
   }
 
   [[nodiscard]] StrategyResult balance(rt::Runtime& rt,

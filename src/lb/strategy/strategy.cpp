@@ -49,6 +49,10 @@ std::unique_ptr<Strategy> make_strategy(std::string_view name) {
   if (name == "tempered") {
     return std::make_unique<GossipStrategy>(GossipStrategy::Flavor::tempered);
   }
+  if (name == "tempered_fast") {
+    return std::make_unique<GossipStrategy>(
+        GossipStrategy::Flavor::tempered_fast);
+  }
   if (name == "grapevine") {
     return std::make_unique<GossipStrategy>(
         GossipStrategy::Flavor::grapevine);
@@ -75,8 +79,8 @@ std::unique_ptr<Strategy> make_strategy(std::string_view name) {
 }
 
 std::vector<std::string_view> strategy_names() {
-  return {"tempered", "grapevine", "greedy",  "hier",
-          "diffusion", "stealing", "rotate",   "random"};
+  return {"tempered", "tempered_fast", "grapevine", "greedy", "hier",
+          "diffusion", "stealing",     "rotate",    "random"};
 }
 
 } // namespace tlb::lb

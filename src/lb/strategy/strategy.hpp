@@ -68,6 +68,8 @@ public:
 
 /// Factory over all registered strategies:
 ///   "tempered"  — this paper's TemperedLB (gossip, relaxed criterion)
+///   "tempered_fast" — TemperedLB with the incremental (Fenwick-backed)
+///                 CMF: O(log |S^p|) per transfer candidate
 ///   "grapevine" — the original GrapevineLB configuration
 ///   "greedy"    — centralized LPT (GreedyLB)
 ///   "hier"      — hierarchical two-level balancer (HierLB)

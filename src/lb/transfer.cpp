@@ -4,6 +4,7 @@
 
 #include "lb/cmf.hpp"
 #include "lb/criterion.hpp"
+#include "lb/incremental_cmf.hpp"
 #include "lb/order.hpp"
 #include "support/assert.hpp"
 
@@ -19,10 +20,16 @@ TransferResult run_transfer(LbParams const& params, RankId self,
   std::vector<TaskEntry> const order =
       order_tasks(params.order, tasks, l_ave, l_p);
 
-  // Line 5: the original algorithm builds the CMF exactly once.
+  // Line 5: the original algorithm builds the CMF exactly once. The
+  // incremental mode also builds once — an IncrementalCmf — and then
+  // point-updates it as speculative transfers land, giving recompute
+  // semantics at O(log |S^p|) per candidate instead of O(|S^p|).
   std::optional<Cmf> cmf;
+  std::optional<IncrementalCmf> inc;
   if (params.refresh == CmfRefresh::build_once) {
     cmf.emplace(params.cmf, knowledge.entries(), l_ave, self);
+  } else if (params.refresh == CmfRefresh::incremental) {
+    inc.emplace(params.cmf, knowledge.entries(), l_ave, self);
   }
 
   // Line 6: propose transfers while overloaded and candidates remain.
@@ -36,13 +43,13 @@ TransferResult run_transfer(LbParams const& params, RankId self,
     if (params.refresh == CmfRefresh::recompute) {
       cmf.emplace(params.cmf, knowledge.entries(), l_ave, self);
     }
-    if (cmf->empty()) {
+    if (inc ? inc->empty() : cmf->empty()) {
       ++result.no_target;
       continue;
     }
 
     // Lines 9-10: sample a recipient and read its last-known load.
-    RankId const target = cmf->sample(rng);
+    RankId const target = inc ? inc->sample(rng) : cmf->sample(rng);
     LoadType const l_x = knowledge.load_of(target);
 
     // Line 11: the acceptance criterion (original vs relaxed).
@@ -50,6 +57,9 @@ TransferResult run_transfer(LbParams const& params, RankId self,
                            result.final_load)) {
       // Lines 12-16: commit the speculative transfer.
       knowledge.add_load(target, candidate.load);
+      if (inc) {
+        inc->add_load(target, candidate.load);
+      }
       result.final_load -= candidate.load;
       result.migrations.push_back(
           Migration{candidate.id, self, target, candidate.load});

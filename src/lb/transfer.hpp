@@ -6,7 +6,8 @@
 /// the sequential analysis framework (src/lbaf) and the distributed
 /// strategies (src/lb/strategy). All paper variants are reachable through
 /// LbParams: original/relaxed criterion, original/modified CMF, build-once
-/// vs recompute, and the four §V-E orderings.
+/// vs recompute vs incremental (Fenwick-backed, O(log |S^p|) per
+/// candidate), and the four §V-E orderings.
 
 #include <vector>
 

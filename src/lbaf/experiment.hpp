@@ -5,6 +5,12 @@
 /// emulation of the distributed protocol. Reproduces the §V-B and §V-D
 /// iteration tables: per-iteration transfer/rejection counts and the
 /// imbalance trajectory.
+///
+/// The transfer stage honors every CmfRefresh mode, including the
+/// Fenwick-backed incremental CMF (LbParams::tempered_fast()); the
+/// recompute mode stays the reference for the published tables and for
+/// cross-validating the incremental path (see
+/// tests/lbaf/incremental_regression_test.cpp).
 
 #include <cstdint>
 #include <optional>

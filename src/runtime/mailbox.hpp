@@ -6,6 +6,7 @@
 /// consumer drains in batches to amortize locking.
 
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <vector>
 
@@ -23,22 +24,28 @@ public:
 
   /// Pop up to `max_items` messages in FIFO order into `out` (appended).
   /// Returns the number popped. max_items == 0 means drain everything.
+  /// Splice-style: one reserve plus a contiguous block move and erase,
+  /// so the lock is held for a single pass instead of n deque pops —
+  /// producers stall for less time under the threaded driver.
   std::size_t pop_batch(std::vector<Envelope>& out, std::size_t max_items) {
     std::lock_guard lock{mutex_};
     std::size_t n = queue_.size();
     if (max_items != 0) {
       n = std::min(n, max_items);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
+    out.reserve(out.size() + n);
+    auto const first = queue_.begin();
+    auto const last = first + static_cast<std::ptrdiff_t>(n);
+    out.insert(out.end(), std::move_iterator{first},
+               std::move_iterator{last});
+    queue_.erase(first, last);
     return n;
   }
 
   /// Fault-injection variant of pop_batch: each popped message is chosen
   /// uniformly from the queue instead of from the front, modeling a
-  /// network that reorders deliveries.
+  /// network that reorders deliveries. The swap-with-back draw sequence is
+  /// load-bearing: tests rely on it being deterministic per seed.
   std::size_t pop_batch_random(std::vector<Envelope>& out,
                                std::size_t max_items, Rng& rng) {
     std::lock_guard lock{mutex_};
@@ -46,6 +53,7 @@ public:
     if (max_items != 0) {
       n = std::min(n, max_items);
     }
+    out.reserve(out.size() + n);
     for (std::size_t i = 0; i < n; ++i) {
       auto const pick = rng.index(queue_.size());
       using std::swap;

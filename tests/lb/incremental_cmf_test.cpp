@@ -1,0 +1,276 @@
+#include "lb/incremental_cmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "lb/cmf.hpp"
+#include "lb/transfer.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::lb {
+namespace {
+
+Knowledge make_knowledge(std::initializer_list<KnownRank> entries) {
+  Knowledge k;
+  for (auto const& e : entries) {
+    k.insert(e.rank, e.load);
+  }
+  return k;
+}
+
+/// Assert that `inc` describes the same distribution as a Cmf freshly
+/// built from `k`: same normalizer, same sampleable set, same per-rank
+/// probabilities (tolerance absorbs Fenwick-vs-scan summation order).
+void expect_matches_fresh(IncrementalCmf const& inc, Knowledge const& k,
+                          CmfKind kind, LoadType l_ave, RankId self) {
+  Cmf const fresh{kind, k.entries(), l_ave, self};
+  ASSERT_EQ(inc.empty(), fresh.empty());
+  ASSERT_EQ(inc.sampleable(), fresh.size());
+  if (fresh.empty()) {
+    return;
+  }
+  EXPECT_DOUBLE_EQ(inc.normalizer(), fresh.normalizer());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_NEAR(inc.probability_of(fresh.rank_at(i)), fresh.probability(i),
+                1e-9)
+        << "rank " << fresh.rank_at(i);
+  }
+}
+
+TEST(IncrementalCmf, OriginalNormalizerIsAverage) {
+  auto const k = make_knowledge({{1, 0.2}, {2, 0.4}});
+  IncrementalCmf const inc{CmfKind::original, k.entries(), 1.0, 0};
+  EXPECT_DOUBLE_EQ(inc.normalizer(), 1.0);
+  EXPECT_EQ(inc.sampleable(), 2u);
+}
+
+TEST(IncrementalCmf, ModifiedNormalizerIsMaxOfAveAndLoads) {
+  auto const k = make_knowledge({{1, 0.2}, {2, 2.5}});
+  IncrementalCmf const inc{CmfKind::modified, k.entries(), 1.0, 0};
+  EXPECT_DOUBLE_EQ(inc.normalizer(), 2.5);
+}
+
+TEST(IncrementalCmf, ExcludesSelf) {
+  auto const k = make_knowledge({{0, 0.1}, {1, 0.1}});
+  IncrementalCmf const inc{CmfKind::original, k.entries(), 1.0, /*self=*/0};
+  EXPECT_EQ(inc.size(), 1u);
+  EXPECT_FALSE(inc.contains(0));
+  EXPECT_TRUE(inc.contains(1));
+}
+
+TEST(IncrementalCmf, EmptyCasesMirrorCmf) {
+  // All ranks at or above the normalizer.
+  auto const full = make_knowledge({{1, 1.0}, {2, 1.2}});
+  EXPECT_TRUE(
+      (IncrementalCmf{CmfKind::original, full.entries(), 1.0, 0}.empty()));
+  // No knowledge at all.
+  Knowledge const none;
+  EXPECT_TRUE(
+      (IncrementalCmf{CmfKind::modified, none.entries(), 1.0, 0}.empty()));
+  // Degenerate normalizer.
+  auto const degen = make_knowledge({{1, 0.0}});
+  EXPECT_TRUE(
+      (IncrementalCmf{CmfKind::original, degen.entries(), 0.0, 0}.empty()));
+}
+
+TEST(IncrementalCmf, MatchesFreshCmfAtConstruction) {
+  auto const k =
+      make_knowledge({{1, 0.3}, {2, 0.6}, {3, 0.1}, {4, 0.95}, {7, 1.4}});
+  for (auto const kind : {CmfKind::original, CmfKind::modified}) {
+    IncrementalCmf const inc{kind, k.entries(), 1.0, 0};
+    expect_matches_fresh(inc, k, kind, 1.0, 0);
+  }
+}
+
+TEST(IncrementalCmf, PointUpdateTracksFreshCmfWithoutRebuild) {
+  auto k = make_knowledge({{1, 0.1}, {2, 0.4}, {3, 0.7}});
+  IncrementalCmf inc{CmfKind::modified, k.entries(), 1.0, 0};
+  // Stays below the normalizer: every update is an O(log n) point update.
+  for (int step = 0; step < 5; ++step) {
+    k.add_load(2, 0.05);
+    inc.add_load(2, 0.05);
+    expect_matches_fresh(inc, k, CmfKind::modified, 1.0, 0);
+  }
+  EXPECT_EQ(inc.rebuild_count(), 0u);
+}
+
+TEST(IncrementalCmf, NormalizerShiftTriggersRebuildAndMatches) {
+  auto k = make_knowledge({{1, 0.1}, {2, 0.4}, {3, 0.7}});
+  IncrementalCmf inc{CmfKind::modified, k.entries(), 1.0, 0};
+  // Push rank 2 past l_s = l_ave = 1.0: the modified normalizer becomes
+  // 1.6 and every weight changes.
+  k.add_load(2, 1.2);
+  inc.add_load(2, 1.2);
+  EXPECT_EQ(inc.rebuild_count(), 1u);
+  EXPECT_DOUBLE_EQ(inc.normalizer(), 1.6);
+  expect_matches_fresh(inc, k, CmfKind::modified, 1.0, 0);
+
+  // Shrinking the max-realizing rank also shifts the normalizer back.
+  k.add_load(2, -1.2);
+  inc.add_load(2, -1.2);
+  EXPECT_EQ(inc.rebuild_count(), 2u);
+  expect_matches_fresh(inc, k, CmfKind::modified, 1.0, 0);
+}
+
+TEST(IncrementalCmf, OriginalKindNeverRebuilds) {
+  auto k = make_knowledge({{1, 0.1}, {2, 0.4}});
+  IncrementalCmf inc{CmfKind::original, k.entries(), 1.0, 0};
+  k.add_load(1, 5.0);
+  inc.add_load(1, 5.0); // way past l_ave: weight clamps to 0, no rebuild
+  EXPECT_EQ(inc.rebuild_count(), 0u);
+  expect_matches_fresh(inc, k, CmfKind::original, 1.0, 0);
+}
+
+TEST(IncrementalCmf, SampleStreamMatchesFreshCmf) {
+  auto const k = make_knowledge({{1, 0.0}, {2, 0.5}, {3, 0.9}, {5, 0.2}});
+  Cmf const fresh{CmfKind::modified, k.entries(), 1.0, 0};
+  IncrementalCmf const inc{CmfKind::modified, k.entries(), 1.0, 0};
+  Rng r1{123};
+  Rng r2{123};
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(inc.sample(r1), fresh.sample(r2)) << "draw " << i;
+  }
+}
+
+TEST(IncrementalCmf, SamplingFrequenciesTrackProbabilities) {
+  auto const k = make_knowledge({{1, 0.0}, {2, 0.5}, {3, 0.9}});
+  IncrementalCmf const inc{CmfKind::original, k.entries(), 1.0, 0};
+  Rng rng{77};
+  constexpr int n = 60000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(inc.sample(rng))];
+  }
+  for (RankId r = 1; r <= 3; ++r) {
+    double const expected = inc.probability_of(r) * n;
+    EXPECT_NEAR(counts[static_cast<std::size_t>(r)], expected,
+                5.0 * std::sqrt(expected) + 30.0)
+        << "rank " << r;
+  }
+}
+
+TEST(IncrementalCmfDeath, SampleFromEmptyAborts) {
+  Knowledge const k;
+  IncrementalCmf const inc{CmfKind::original, k.entries(), 1.0, 0};
+  Rng rng{1};
+  EXPECT_DEATH((void)inc.sample(rng), "precondition");
+}
+
+TEST(IncrementalCmfDeath, AddLoadOnUntrackedRankAborts) {
+  auto const k = make_knowledge({{1, 0.2}});
+  IncrementalCmf inc{CmfKind::original, k.entries(), 1.0, 0};
+  EXPECT_DEATH(inc.add_load(9, 0.1), "precondition");
+}
+
+/// Property sweep (satellite): after arbitrary interleavings of add_load,
+/// insert, and truncate_random (membership changes re-adopted through
+/// rebuild()), the incremental structure matches a freshly built Cmf —
+/// same probabilities and an identical sampling stream.
+class IncrementalVsRebuilt
+    : public ::testing::TestWithParam<std::tuple<CmfKind, std::uint64_t>> {};
+
+TEST_P(IncrementalVsRebuilt, ArbitraryOpSequencesMatchFreshCmf) {
+  auto const [kind, seed] = GetParam();
+  RankId const self = 0;
+  double const l_ave = 1.0;
+  Rng op_rng{seed};
+
+  Knowledge k;
+  RankId next_rank = 1;
+  for (int i = 0; i < 6; ++i) {
+    k.insert(next_rank++, op_rng.uniform(0.0, 1.3));
+  }
+  IncrementalCmf inc{kind, k.entries(), l_ave, self};
+
+  for (int op = 0; op < 200; ++op) {
+    auto const pick = op_rng.index(10);
+    if (pick < 6 && !k.empty()) {
+      // add_load on a random known rank; deltas may exceed the normalizer
+      // (forcing rebuilds) or be negative (shrinking the max).
+      auto const& entries = k.entries();
+      RankId const rank = entries[op_rng.index(entries.size())].rank;
+      double const delta = op_rng.uniform(-0.4, 0.8);
+      k.add_load(rank, delta);
+      inc.add_load(rank, delta);
+    } else if (pick < 8) {
+      // Membership change: a newly gossiped rank appears.
+      k.insert(next_rank++, op_rng.uniform(0.0, 1.3));
+      inc.rebuild(k.entries());
+    } else if (k.size() > 2) {
+      // Membership change: footnote-2 bounded-knowledge truncation.
+      k.truncate_random(k.size() - 1, op_rng);
+      inc.rebuild(k.entries());
+    }
+
+    expect_matches_fresh(inc, k, kind, l_ave, self);
+    if (!inc.empty()) {
+      Cmf const fresh{kind, k.entries(), l_ave, self};
+      Rng r1{seed ^ (static_cast<std::uint64_t>(op) << 32)};
+      Rng r2 = r1;
+      for (int draw = 0; draw < 32; ++draw) {
+        ASSERT_EQ(inc.sample(r1), fresh.sample(r2))
+            << "op " << op << " draw " << draw;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalVsRebuilt,
+    ::testing::Combine(::testing::Values(CmfKind::original, CmfKind::modified),
+                       ::testing::Values(3u, 17u, 4096u, 0xdeadbeefu)));
+
+/// End-to-end: the incremental refresh mode reproduces the recompute
+/// reference's transfer decisions (identical migrations and counters) on
+/// randomized overloaded-rank states.
+TEST(TransferIncremental, MatchesRecomputeReference) {
+  Rng workload_rng{2024};
+  for (int instance = 0; instance < 40; ++instance) {
+    std::vector<TaskEntry> tasks;
+    auto const n = 1 + workload_rng.index(60);
+    double l_p = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double const load = workload_rng.uniform(0.05, 2.0);
+      tasks.push_back({static_cast<TaskId>(i), load});
+      l_p += load;
+    }
+    double const l_ave = l_p / workload_rng.uniform(2.0, 16.0);
+    Knowledge base;
+    auto const peers = 1 + workload_rng.index(24);
+    for (std::size_t i = 0; i < peers; ++i) {
+      base.insert(static_cast<RankId>(i + 1),
+                  workload_rng.uniform(0.0, 1.5 * l_ave));
+    }
+
+    for (auto const criterion :
+         {CriterionKind::original, CriterionKind::relaxed}) {
+      for (auto const kind : {CmfKind::original, CmfKind::modified}) {
+        LbParams reference;
+        reference.criterion = criterion;
+        reference.cmf = kind;
+        reference.refresh = CmfRefresh::recompute;
+        reference.order = OrderKind::fewest_migrations;
+        LbParams incremental = reference;
+        incremental.refresh = CmfRefresh::incremental;
+
+        Knowledge k1 = base;
+        Knowledge k2 = base;
+        Rng r1{static_cast<std::uint64_t>(instance) * 101 + 7};
+        Rng r2 = r1;
+        auto const a = run_transfer(reference, 0, tasks, l_p, l_ave, k1, r1);
+        auto const b = run_transfer(incremental, 0, tasks, l_p, l_ave, k2, r2);
+        EXPECT_EQ(a.migrations, b.migrations) << "instance " << instance;
+        EXPECT_EQ(a.accepted, b.accepted);
+        EXPECT_EQ(a.rejected, b.rejected);
+        EXPECT_EQ(a.no_target, b.no_target);
+        EXPECT_DOUBLE_EQ(a.final_load, b.final_load);
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace tlb::lb

@@ -127,7 +127,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(CriterionKind::original, CriterionKind::relaxed),
         ::testing::Values(CmfKind::original, CmfKind::modified),
-        ::testing::Values(CmfRefresh::build_once, CmfRefresh::recompute),
+        ::testing::Values(CmfRefresh::build_once, CmfRefresh::recompute,
+                          CmfRefresh::incremental),
         ::testing::Values(OrderKind::arbitrary, OrderKind::load_intensive,
                           OrderKind::fewest_migrations, OrderKind::lightest),
         ::testing::Values(7u, 77u)));

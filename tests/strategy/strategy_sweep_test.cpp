@@ -111,9 +111,10 @@ TEST_P(EveryStrategy, WorksThroughLbManagerWithObjectStore) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRegistered, EveryStrategy,
-                         ::testing::Values("tempered", "grapevine", "greedy",
-                                           "hier", "diffusion", "stealing",
-                                           "rotate", "random"));
+                         ::testing::Values("tempered", "tempered_fast",
+                                           "grapevine", "greedy", "hier",
+                                           "diffusion", "stealing", "rotate",
+                                           "random"));
 
 TEST(StrategySanity, UniformLoadNeedsNoBalancing) {
   // A perfectly balanced system: serious balancers must leave it alone
@@ -124,8 +125,8 @@ TEST(StrategySanity, UniformLoadNeedsNoBalancing) {
   for (auto& tasks : input.tasks) {
     tasks.push_back({id++, 1.0});
   }
-  for (auto const name : {"tempered", "grapevine", "greedy", "hier",
-                          "diffusion", "stealing"}) {
+  for (auto const name : {"tempered", "tempered_fast", "grapevine", "greedy",
+                          "hier", "diffusion", "stealing"}) {
     rt::RuntimeConfig cfg;
     cfg.num_ranks = 16;
     rt::Runtime rt{cfg};
