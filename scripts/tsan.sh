@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate: build the threaded-runtime test surface with
+# -fsanitize=thread and run the runtime + strategy suites, which exercise
+# the worker-pool driver across multiple thread counts (the threaded stress
+# test sweeps 2/3/4/8 workers; TLB_STRESS_THREADS adds configurations).
+#
+# Usage:
+#   scripts/tsan.sh [build-dir]    # default build-tsan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTLB_BUILD_BENCH=OFF \
+  -DTLB_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target test_runtime test_strategies
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+"./${BUILD_DIR}/tests/test_runtime"
+"./${BUILD_DIR}/tests/test_strategies"
+echo "tsan.sh: runtime + strategy suites clean under ThreadSanitizer" >&2

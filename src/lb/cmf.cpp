@@ -3,8 +3,55 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/check.hpp"
 
 namespace tlb::lb {
+
+void audit_cmf_prefix(std::span<double const> prefix) {
+  TLB_AUDIT_BLOCK {
+    double prev = 0.0;
+    bool monotone = true;
+    bool in_range = true;
+    for (double const c : prefix) {
+      monotone = monotone && c >= prev;
+      in_range = in_range && c > 0.0 && c <= 1.0;
+      prev = c;
+    }
+    TLB_INVARIANT(monotone, "CMF prefix monotone non-decreasing");
+    TLB_INVARIANT(in_range, "CMF prefix entries within (0, 1]");
+    TLB_INVARIANT(prefix.empty() || prefix.back() == 1.0,
+                  "CMF last bucket pinned to exactly 1");
+  }
+}
+
+void audit_cmf(Cmf const& cmf, CmfKind kind, std::span<KnownRank const> known,
+               LoadType l_ave, RankId self) {
+  TLB_AUDIT_BLOCK {
+    audit_cmf_prefix(cmf.cumulative_);
+    TLB_INVARIANT(cmf.ranks_.size() == cmf.cumulative_.size(),
+                  "CMF rank/prefix vectors same length");
+    bool excludes_self = true;
+    for (RankId const r : cmf.ranks_) {
+      excludes_self = excludes_self && r != self;
+    }
+    TLB_INVARIANT(excludes_self, "CMF never samples the sending rank");
+    if (kind == CmfKind::original) {
+      TLB_INVARIANT(cmf.l_s_ == l_ave, "original CMF normalizer is l_ave");
+    } else {
+      // Modified kind: l_s = max(l_ave, max known non-self load), so every
+      // sampleable weight 1 − load/l_s stays non-negative (§V-C change #5).
+      TLB_INVARIANT(cmf.l_s_ >= l_ave, "modified CMF normalizer >= l_ave");
+      bool bounds_loads = true;
+      for (KnownRank const& e : known) {
+        if (e.rank != self) {
+          bounds_loads = bounds_loads && cmf.l_s_ >= e.load;
+        }
+      }
+      TLB_INVARIANT(bounds_loads,
+                    "modified CMF normalizer >= max sampled load");
+    }
+  }
+}
 
 Cmf::Cmf(CmfKind kind, std::span<KnownRank const> known, LoadType l_ave,
          RankId self) {
@@ -17,6 +64,7 @@ Cmf::Cmf(CmfKind kind, std::span<KnownRank const> known, LoadType l_ave,
     }
   }
   if (l_s_ <= 0.0) {
+    audit_cmf(*this, kind, known, l_ave, self);
     return; // degenerate: no positive normalizer, nothing sampleable
   }
 
@@ -38,12 +86,14 @@ Cmf::Cmf(CmfKind kind, std::span<KnownRank const> known, LoadType l_ave,
   if (z <= 0.0) {
     ranks_.clear();
     cumulative_.clear();
+    audit_cmf(*this, kind, known, l_ave, self);
     return;
   }
   for (double& c : cumulative_) {
     c /= z;
   }
   cumulative_.back() = 1.0; // guard against rounding in the last bucket
+  audit_cmf(*this, kind, known, l_ave, self);
 }
 
 RankId Cmf::sample(Rng& rng) const {

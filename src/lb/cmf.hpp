@@ -47,9 +47,26 @@ public:
   [[nodiscard]] LoadType normalizer() const { return l_s_; }
 
 private:
+  friend void audit_cmf(Cmf const& cmf, CmfKind kind,
+                        std::span<KnownRank const> known, LoadType l_ave,
+                        RankId self);
   std::vector<RankId> ranks_;
   std::vector<double> cumulative_; // strictly increasing, back() == 1.0
   LoadType l_s_ = 0.0;
 };
+
+/// Invariant auditor entry point: check that `prefix` is a valid built CMF
+/// prefix vector — entries in (0, 1], monotone non-decreasing, last pinned
+/// to exactly 1. No-op unless the audit build is active; exposed separately
+/// from the constructor hook so auditor self-tests can feed it corrupted
+/// vectors (tests/support/check_test.cpp).
+void audit_cmf_prefix(std::span<double const> prefix);
+
+/// Full audit of a built Cmf against the knowledge it was built from:
+/// prefix validity plus the normalizer bounds (l_s == l_ave for the
+/// original kind; l_s ≥ max known non-self load and ≥ l_ave for the
+/// modified kind, §V-C change #5) and self-exclusion.
+void audit_cmf(Cmf const& cmf, CmfKind kind, std::span<KnownRank const> known,
+               LoadType l_ave, RankId self);
 
 } // namespace tlb::lb

@@ -34,4 +34,19 @@ namespace tlb::lb {
   return false;
 }
 
+/// Lemma 1's consequence, as an audit predicate: moving a task of load
+/// `task_load` from a rank at `l_p` to one at `l_x` must not increase
+/// max(l_p, l_x) — and must strictly decrease it when the task carries
+/// positive load. Any transfer the relaxed criterion accepts satisfies
+/// this, which is why F(D) = I_D − h + 1 is monotone under the relaxed
+/// rule; the invariant auditor checks it on every accepted transfer.
+[[nodiscard]] constexpr bool
+transfer_preserves_objective(LoadType l_x, LoadType task_load, LoadType l_p) {
+  LoadType const before = l_p > l_x ? l_p : l_x;
+  LoadType const sender_after = l_p - task_load;
+  LoadType const recv_after = l_x + task_load;
+  LoadType const after = sender_after > recv_after ? sender_after : recv_after;
+  return task_load > 0.0 ? after < before : after <= before;
+}
+
 } // namespace tlb::lb

@@ -1,10 +1,44 @@
 #include "lb/incremental_cmf.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/assert.hpp"
+#include "support/check.hpp"
 
 namespace tlb::lb {
+
+void IncrementalCmf::audit_consistency() const {
+  TLB_AUDIT_BLOCK {
+    // Shadow recompute: the incrementally maintained state must match what
+    // a from-scratch rebuild over the same loads would produce.
+    double sum = 0.0;
+    std::size_t positive = 0;
+    LoadType max_load = 0.0;
+    bool weights_match = true;
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+      double const expect =
+          l_s_ > 0.0 ? std::max(0.0, 1.0 - loads_[i] / l_s_) : 0.0;
+      weights_match =
+          weights_match && std::abs(weights_[i] - expect) <= 1e-12;
+      sum += weights_[i];
+      positive += weights_[i] > 0.0 ? 1 : 0;
+      max_load = std::max(max_load, loads_[i]);
+    }
+    TLB_INVARIANT(weights_match,
+                  "incremental CMF weights match recompute from loads");
+    TLB_INVARIANT(positive == positive_,
+                  "incremental CMF positive-weight count cache consistent");
+    TLB_INVARIANT(std::abs(tree_.total() - sum) <=
+                      1e-9 * std::max(1.0, sum),
+                  "Fenwick total equals sum of weights");
+    if (kind_ == CmfKind::modified && l_s_ > 0.0) {
+      TLB_INVARIANT(l_s_ >= l_ave_, "modified normalizer >= l_ave");
+      TLB_INVARIANT(l_s_ >= max_load,
+                    "modified normalizer >= max tracked load");
+    }
+  }
+}
 
 IncrementalCmf::IncrementalCmf(CmfKind kind, std::span<KnownRank const> known,
                                LoadType l_ave, RankId self)
@@ -46,6 +80,7 @@ void IncrementalCmf::rebuild_weights() {
     }
   }
   tree_.assign(weights_);
+  audit_consistency();
 }
 
 double IncrementalCmf::weight_of(LoadType load) const {
@@ -78,13 +113,19 @@ void IncrementalCmf::add_load(RankId rank, LoadType delta) {
     return;
   }
   if (l_s_ <= 0.0) {
+    audit_consistency();
     return; // degenerate normalizer: nothing is sampleable regardless
   }
   double const old_w = weights_[i];
   double const new_w = weight_of(new_load);
   weights_[i] = new_w;
-  positive_ += (new_w > 0.0 ? 1 : 0) - (old_w > 0.0 ? 1 : 0);
+  if (new_w > 0.0 && old_w <= 0.0) {
+    ++positive_;
+  } else if (new_w <= 0.0 && old_w > 0.0) {
+    --positive_;
+  }
   tree_.add(i, new_w - old_w);
+  audit_consistency();
 }
 
 RankId IncrementalCmf::sample(Rng& rng) const {

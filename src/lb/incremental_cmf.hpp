@@ -72,6 +72,14 @@ public:
   /// and explicit rebuild() calls); observability for tests and benches.
   [[nodiscard]] std::size_t rebuild_count() const { return rebuilds_; }
 
+  /// Invariant auditor entry point (no-op unless the audit build is
+  /// active): shadow-recompute every weight from the tracked loads and the
+  /// normalizer and check the Fenwick tree, the positive-count cache, and
+  /// the normalizer bounds against them. Called automatically after every
+  /// add_load/rebuild in audit builds; public so tests can invoke it after
+  /// a scripted update sequence.
+  void audit_consistency() const;
+
 private:
   /// Recompute l_s from the tracked loads and refill every weight. O(n).
   void rebuild_weights();

@@ -1,11 +1,13 @@
 #include "lb/strategy/gossip_strategy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "lb/transfer.hpp"
 #include "runtime/collectives.hpp"
 #include "support/assert.hpp"
+#include "support/check.hpp"
 #include "support/stats.hpp"
 
 namespace tlb::lb {
@@ -237,6 +239,28 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
         }
       });
       rt.run_until_quiescent();
+
+      TLB_AUDIT_BLOCK {
+        // Speculative transfers (and NACK bounces) only relocate tasks:
+        // once the notification traffic quiesces, the proposed placement
+        // must hold exactly the input's tasks and exactly its total load.
+        std::size_t spec_tasks = 0;
+        double spec_total = 0.0;
+        std::size_t input_tasks = 0;
+        double input_total = 0.0;
+        for (RankId r = 0; r < p; ++r) {
+          auto const& st = shared->states[static_cast<std::size_t>(r)];
+          spec_tasks += st.tasks.size();
+          spec_total += st.load;
+          input_tasks += input.tasks[static_cast<std::size_t>(r)].size();
+          input_total += initial_loads[static_cast<std::size_t>(r)];
+        }
+        TLB_INVARIANT(spec_tasks == input_tasks,
+                      "speculative placement conserves the task count");
+        TLB_INVARIANT(std::abs(spec_total - input_total) <=
+                          1e-9 * std::max(1.0, input_total),
+                      "speculative placement conserves the total load");
+      }
 
       // --- Algorithm 3 line 9: evaluate the proposed imbalance. ---
       std::vector<LoadType> spec_loads(static_cast<std::size_t>(p));

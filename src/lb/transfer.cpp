@@ -1,5 +1,6 @@
 #include "lb/transfer.hpp"
 
+#include <cmath>
 #include <optional>
 
 #include "lb/cmf.hpp"
@@ -7,6 +8,7 @@
 #include "lb/incremental_cmf.hpp"
 #include "lb/order.hpp"
 #include "support/assert.hpp"
+#include "support/check.hpp"
 
 namespace tlb::lb {
 
@@ -55,6 +57,20 @@ TransferResult run_transfer(LbParams const& params, RankId self,
     // Line 11: the acceptance criterion (original vs relaxed).
     if (evaluate_criterion(params.criterion, l_x, candidate.load, l_ave,
                            result.final_load)) {
+      TLB_AUDIT_BLOCK {
+        // Lemma 1: an accepted relaxed-criterion transfer strictly lowers
+        // max(l^p, l_x), so the objective F(D) = I_D − h + 1 cannot grow.
+        // The original criterion instead guarantees the recipient stays
+        // below average (Algorithm 2 line 35).
+        if (params.criterion == CriterionKind::relaxed) {
+          TLB_INVARIANT(transfer_preserves_objective(l_x, candidate.load,
+                                                     result.final_load),
+                        "relaxed criterion preserves objective (Lemma 1)");
+        } else {
+          TLB_INVARIANT(l_x + candidate.load < l_ave,
+                        "original criterion keeps recipient below average");
+        }
+      }
       // Lines 12-16: commit the speculative transfer.
       knowledge.add_load(target, candidate.load);
       if (inc) {
@@ -64,11 +80,49 @@ TransferResult run_transfer(LbParams const& params, RankId self,
       result.migrations.push_back(
           Migration{candidate.id, self, target, candidate.load});
       ++result.accepted;
+      TLB_AUDIT_BLOCK {
+        // Shadow cross-check (audit builds only): after each committed
+        // speculative transfer the incrementally maintained distribution
+        // must agree with a from-scratch recompute over the same knowledge
+        // — the Fenwick-vs-recompute guarantee PR 1's fast path rests on.
+        if (inc) {
+          Cmf const shadow{params.cmf, knowledge.entries(), l_ave, self};
+          TLB_INVARIANT(std::abs(shadow.normalizer() - inc->normalizer()) <=
+                            1e-9 * std::max(1.0, shadow.normalizer()),
+                        "incremental normalizer matches recompute");
+          TLB_INVARIANT(shadow.empty() == inc->empty(),
+                        "incremental emptiness matches recompute");
+          bool probs_match = true;
+          for (std::size_t i = 0; i < shadow.size(); ++i) {
+            double const p = shadow.probability(i);
+            double const q = inc->probability_of(shadow.rank_at(i));
+            probs_match = probs_match && std::abs(p - q) <= 1e-9;
+          }
+          TLB_INVARIANT(probs_match,
+                        "incremental per-rank probabilities match recompute");
+        }
+      }
     } else {
       ++result.rejected;
     }
   }
 
+  TLB_AUDIT_BLOCK {
+    // Conservation: every unit of load shed by this rank is accounted for
+    // by exactly one proposed migration, and counters tally the loop.
+    double moved = 0.0;
+    for (Migration const& m : result.migrations) {
+      moved += m.load;
+    }
+    TLB_INVARIANT(std::abs(result.final_load + moved - l_p) <=
+                      1e-9 * std::max(1.0, std::abs(l_p)),
+                  "load conservation across run_transfer");
+    TLB_INVARIANT(result.migrations.size() == result.accepted,
+                  "one migration per accepted transfer");
+    TLB_INVARIANT(result.accepted + result.rejected + result.no_target <=
+                      order.size(),
+                  "every candidate dispositioned at most once");
+  }
   return result;
 }
 

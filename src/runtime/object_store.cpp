@@ -1,6 +1,7 @@
 #include "runtime/object_store.hpp"
 
 #include "support/assert.hpp"
+#include "support/check.hpp"
 
 namespace tlb::rt {
 
@@ -53,6 +54,8 @@ std::size_t ObjectStore::total_tasks() const { return directory_.size(); }
 
 std::size_t ObjectStore::migrate(Runtime& rt,
                                  std::vector<Migration> const& migrations) {
+  [[maybe_unused]] std::size_t audit_tasks_before = 0;
+  TLB_AUDIT_BLOCK { audit_tasks_before = directory_.size(); }
   std::size_t moved_bytes = 0;
   for (Migration const& m : migrations) {
     TLB_EXPECTS(m.to >= 0 && m.to < num_ranks());
@@ -89,6 +92,30 @@ std::size_t ObjectStore::migrate(Runtime& rt,
     ++migration_count_;
   }
   rt.run_until_quiescent();
+  TLB_AUDIT_BLOCK {
+    // Task conservation: a migration batch must neither create nor destroy
+    // tasks, every payload must be resident on exactly one rank once the
+    // protocol quiesces, and the directory must agree with the residency
+    // each migration promised.
+    TLB_INVARIANT(directory_.size() == audit_tasks_before,
+                  "migration conserves the global task count");
+    std::size_t resident = 0;
+    for (auto const& rank_map : local_) {
+      resident += rank_map.size();
+    }
+    TLB_INVARIANT(resident == directory_.size(),
+                  "every task resident on exactly one rank after migrate");
+    bool directory_agrees = true;
+    bool payload_installed = true;
+    for (Migration const& m : migrations) {
+      directory_agrees = directory_agrees && owner(m.task) == m.to;
+      payload_installed = payload_installed && find(m.to, m.task) != nullptr;
+    }
+    TLB_INVARIANT(directory_agrees,
+                  "directory points at each migration's destination");
+    TLB_INVARIANT(payload_installed,
+                  "each migrated payload installed at its destination");
+  }
   migration_bytes_ += moved_bytes;
   return moved_bytes;
 }

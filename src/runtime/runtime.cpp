@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/assert.hpp"
+#include "support/check.hpp"
 
 namespace tlb::rt {
 
@@ -46,6 +47,9 @@ void Runtime::enqueue(Envelope env) {
   // Increment strictly before the message becomes visible so in_flight==0
   // can never be observed while work remains.
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  TLB_AUDIT_BLOCK {
+    audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  }
   mailboxes_[static_cast<std::size_t>(env.to)].push(std::move(env));
 }
 
@@ -72,6 +76,9 @@ std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
   // while work remains — the counter only over-estimates — and replaces n
   // hot-atomic RMWs per drain with one.
   if (n > 0) {
+    TLB_AUDIT_BLOCK {
+      audit_processed_.fetch_add(n, std::memory_order_relaxed);
+    }
     in_flight_.fetch_sub(static_cast<std::int64_t>(n),
                          std::memory_order_acq_rel);
   }
@@ -85,6 +92,19 @@ void Runtime::run_until_quiescent() {
     run_threaded();
   }
   TLB_ENSURES(in_flight_.load(std::memory_order_acquire) == 0);
+  TLB_AUDIT_BLOCK {
+    // Termination-counter consistency: the in-flight counter says zero;
+    // the independent totals and the mailboxes themselves must agree that
+    // every message enqueued over the runtime's lifetime ran exactly once.
+    TLB_INVARIANT(audit_processed_.load(std::memory_order_acquire) ==
+                      audit_enqueued_.load(std::memory_order_acquire),
+                  "quiescence: every enqueued message processed once");
+    bool drained = true;
+    for (Mailbox const& mailbox : mailboxes_) {
+      drained = drained && mailbox.empty();
+    }
+    TLB_INVARIANT(drained, "quiescence: every mailbox empty");
+  }
 }
 
 void Runtime::run_sequential() {

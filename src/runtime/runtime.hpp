@@ -15,6 +15,8 @@
 /// faithful message-based Mattern four-counter detector is implemented in
 /// termination.hpp and validated against this ground truth in the tests.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -79,6 +81,17 @@ public:
   /// Deterministic per-rank RNG stream (derived from config seed).
   [[nodiscard]] Rng& rank_rng(RankId rank);
 
+  /// Audit observability (zero unless the invariant-audit build is active
+  /// and enabled): lifetime totals of messages enqueued and handlers run,
+  /// maintained independently of the in-flight counter so the auditor can
+  /// cross-check the quiescence ground truth against a second bookkeeping.
+  [[nodiscard]] std::uint64_t audit_enqueued() const {
+    return audit_enqueued_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t audit_processed() const {
+    return audit_processed_.load(std::memory_order_acquire);
+  }
+
 private:
   friend class RankContext;
 
@@ -94,6 +107,8 @@ private:
   std::vector<Rng> rank_rngs_;
   NetworkStats stats_;
   std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::uint64_t> audit_enqueued_{0};
+  std::atomic<std::uint64_t> audit_processed_{0};
 };
 
 } // namespace tlb::rt

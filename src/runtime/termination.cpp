@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "support/assert.hpp"
+#include "support/check.hpp"
 
 namespace tlb::rt {
 
@@ -77,6 +78,24 @@ void TerminationDetector::wave_step(RankContext& ctx, std::int64_t sent,
 
   // Wave completed back at rank 0: apply the four-counter condition.
   st->waves.fetch_add(1, std::memory_order_relaxed);
+  TLB_AUDIT_BLOCK {
+    // Per-rank counters only ever grow, so consecutive wave sums must be
+    // monotone — a shrinking sum means a counter update was lost (a data
+    // race the four-counter condition cannot survive). And certification
+    // is final: no wave may ever run after a wave pair certified.
+    TLB_INVARIANT(!st->terminated.load(std::memory_order_acquire),
+                  "no termination wave runs after certification");
+    if (st->prev_sent >= 0) {
+      TLB_INVARIANT(total_sent >= st->prev_sent,
+                    "wave sent-sums monotone non-decreasing");
+      TLB_INVARIANT(total_recv >= st->prev_recv,
+                    "wave received-sums monotone non-decreasing");
+    }
+    // Note: total_recv <= total_sent does NOT hold per-wave — a wave can
+    // count a receive on an early rank whose matching send lands on an
+    // already-visited rank's counter. That asymmetry is exactly why the
+    // four-counter condition needs two identical consecutive waves.
+  }
   bool const balanced = total_sent == total_recv;
   bool const stable =
       total_sent == st->prev_sent && total_recv == st->prev_recv;

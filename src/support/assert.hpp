@@ -5,6 +5,12 @@
 /// Expects/Ensures. These are always on (including release builds) because
 /// the library is a research artifact where silent contract violations
 /// invalidate experiments; the checks are cheap relative to the workloads.
+///
+/// These are distinct from the invariant auditor (support/check.hpp):
+/// contracts guard cheap caller/callee obligations in every build, while
+/// TLB_INVARIANT / TLB_AUDIT_BLOCK cover algorithm-level invariants whose
+/// verification is too expensive for release builds and is compiled in
+/// only with -DTLB_AUDIT=ON.
 
 #include <cstdio>
 #include <cstdlib>

@@ -1,0 +1,65 @@
+#include "support/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace tlb::audit {
+
+namespace {
+
+std::atomic<Mode> g_mode{Mode::abort_process};
+std::atomic<std::size_t> g_violations{0};
+std::mutex g_last_mutex;
+std::string g_last; // guarded by g_last_mutex
+
+bool env_enabled() {
+  // Read once: toggling mid-run would make audit coverage nondeterministic.
+  static bool const value = [] {
+    char const* const v = std::getenv("TLB_AUDIT");
+    if (v == nullptr) {
+      return true; // compiled-in auditing defaults to on
+    }
+    return !(v[0] == '0' && v[1] == '\0');
+  }();
+  return value;
+}
+
+} // namespace
+
+bool enabled() { return TLB_AUDIT_ENABLED != 0 && env_enabled(); }
+
+void set_mode(Mode m) { g_mode.store(m, std::memory_order_relaxed); }
+
+Mode mode() { return g_mode.load(std::memory_order_relaxed); }
+
+std::size_t violation_count() {
+  return g_violations.load(std::memory_order_acquire);
+}
+
+void reset_violations() {
+  std::lock_guard lock{g_last_mutex};
+  g_last.clear();
+  g_violations.store(0, std::memory_order_release);
+}
+
+std::string last_violation() {
+  std::lock_guard lock{g_last_mutex};
+  return g_last;
+}
+
+void report(char const* expr, char const* what, char const* file, int line) {
+  if (mode() == Mode::count) {
+    {
+      std::lock_guard lock{g_last_mutex};
+      g_last = std::string{what} + ": (" + expr + ")";
+    }
+    g_violations.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  std::fprintf(stderr, "tlb: invariant violated: %s: (%s) at %s:%d\n", what,
+               expr, file, line);
+  std::abort();
+}
+
+} // namespace tlb::audit
