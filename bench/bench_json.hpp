@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Shared `--json` support for the bench harnesses. Every bench accepts
+///
+///   --json            write BENCH_<name>.json in the working directory
+///   --json <path>     write to <path>
+///
+/// The document echoes the bench name, the parsed command-line options
+/// (so a result file is self-describing), and each emitted table as
+/// {label, headers, rows} with cells kept as the same strings the console
+/// renderer prints.
+
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/config.hpp"
+#include "support/table.hpp"
+
+namespace tlb::bench {
+
+/// The --json output path: empty when not requested, BENCH_<name>.json
+/// for the bare flag form, the given value otherwise.
+[[nodiscard]] inline std::string json_output_path(Options const& opts,
+                                                  std::string_view name) {
+  if (!opts.has("json")) {
+    return {};
+  }
+  auto const v = opts.get_string("json", "");
+  if (v.empty() || v == "true") {
+    return "BENCH_" + std::string{name} + ".json";
+  }
+  return v;
+}
+
+/// Write the bench document for `tables` (label, table) to `path`.
+inline void
+write_bench_json(std::string const& path, std::string_view name,
+                 Options const& opts,
+                 std::vector<std::pair<std::string, Table const*>> const&
+                     tables) {
+  auto os = obs::open_output_file(path);
+  obs::JsonWriter w{os};
+  w.begin_object();
+  w.kv("bench", name);
+  w.key("config").begin_object();
+  for (auto const& [key, value] : opts.items()) {
+    w.kv(key, value);
+  }
+  w.end_object();
+  w.key("tables").begin_array();
+  for (auto const& [label, table] : tables) {
+    w.begin_object();
+    w.kv("label", label);
+    w.key("headers").begin_array();
+    for (auto const& h : table->headers()) {
+      w.value(h);
+    }
+    w.end_array();
+    w.key("rows").begin_array();
+    for (auto const& row : table->data()) {
+      w.begin_array();
+      for (auto const& cell : row) {
+        w.value(cell);
+      }
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+/// Print `table` to stdout (CSV when --csv) and, when --json was given,
+/// also write the machine-readable document. The standard emission path
+/// for single-table benches.
+inline void emit_table(Options const& opts, std::string_view bench_name,
+                       Table const& table) {
+  if (opts.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  auto const path = json_output_path(opts, bench_name);
+  if (!path.empty()) {
+    write_bench_json(path, bench_name, opts,
+                     {{std::string{bench_name}, &table}});
+    std::cout << "# wrote " << path << "\n";
+  }
+}
+
+} // namespace tlb::bench

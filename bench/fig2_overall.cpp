@@ -40,11 +40,7 @@ int main(int argc, char** argv) {
         .add_cell(spmd_total / result.totals.t_total, 2)
         .add_cell(spmd_particle / result.totals.t_particle, 2);
   }
-  if (opts.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::emit_table(opts, "fig2_overall", table);
   std::cout << "# paper shape: no-LB ~0.8x; GrapevineLB ~1.3x/1.5x; "
                "Greedy/Hier/Tempered ~1.9x app and ~3x particle\n";
   return 0;

@@ -33,11 +33,7 @@ int main(int argc, char** argv) {
         .add_cell(result.totals.t_total, 1)
         .add_cell(result.totals.migrations);
   }
-  if (opts.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::emit_table(opts, "fig3_breakdown", table);
   std::cout << "# paper row order matches: SPMD 1284/3478/0/4762; "
                "TemperedLB 1416/1118/11/2546\n";
   return 0;

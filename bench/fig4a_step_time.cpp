@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
     }
     series.push_back(std::move(column));
   }
-  bench::print_series("t_step (s)", labels, series, sample,
-                      opts.get_bool("csv", false), 4);
+  bench::emit_series("t_step (s)", labels, series, sample, opts,
+                     "fig4a_step_time", 4);
   std::cout << "# paper shape: unbalanced configs climb with the hot "
                "spot; balanced configs flat with LB-step spikes\n";
   return 0;

@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
     labels.push_back(std::string{named.label} + " Min");
     series.push_back(std::move(min_load));
   }
-  bench::print_series("per-rank task load (s)", labels, series, sample,
-                      opts.get_bool("csv", false), 4);
+  bench::emit_series("per-rank task load (s)", labels, series, sample,
+                     opts, "fig4b_rank_loads", 4);
   std::cout << "# paper shape: Max hugs the lower bound for "
                "Greedy/Hier/Tempered; GrapevineLB's Max rides higher\n";
   return 0;

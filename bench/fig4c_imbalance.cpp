@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
     }
     series.push_back(std::move(column));
   }
-  bench::print_series("imbalance I", labels, series, sample,
-                      opts.get_bool("csv", false));
+  bench::emit_series("imbalance I", labels, series, sample, opts,
+                     "fig4c_imbalance");
   std::cout << "# paper shape: no-LB decays ~7 -> ~3.3; LB'd configs stay "
                "near 0; GrapevineLB sits above the others\n";
   return 0;

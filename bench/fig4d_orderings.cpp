@@ -68,6 +68,15 @@ int main(int argc, char** argv) {
   } else {
     totals.print(std::cout);
   }
+  if (auto const path = bench::json_output_path(opts, "fig4d_orderings");
+      !path.empty()) {
+    Table const series_table =
+        bench::make_series_table(labels, series, sample, 4);
+    bench::write_bench_json(path, "fig4d_orderings", opts,
+                            {{"t_particle (s)", &series_table},
+                             {"run totals per ordering", &totals}});
+    std::cout << "# wrote " << path << "\n";
+  }
   std::cout << "# paper shape: FewestMigrations best overall; Lightest "
                "does not beat the straw-man\n";
   return 0;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "pic/app.hpp"
 #include "support/config.hpp"
 #include "support/table.hpp"
@@ -72,12 +73,12 @@ inline pic::RunResult run_config(pic::PicConfig base,
   return app.run();
 }
 
-/// Emit a per-step series table: one row per sampled step, one column per
-/// configuration.
-inline void print_series(std::string const& value_name,
-                         std::vector<std::string> const& labels,
-                         std::vector<std::vector<double>> const& series,
-                         int sample_every, bool csv, int precision = 3) {
+/// Build a per-step series table: one row per sampled step, one column
+/// per configuration.
+[[nodiscard]] inline Table
+make_series_table(std::vector<std::string> const& labels,
+                  std::vector<std::vector<double>> const& series,
+                  int sample_every, int precision = 3) {
   std::vector<std::string> headers{"step"};
   headers.insert(headers.end(), labels.begin(), labels.end());
   Table table{headers};
@@ -89,12 +90,45 @@ inline void print_series(std::string const& value_name,
       table.add_cell(column[s], precision);
     }
   }
+  return table;
+}
+
+/// Emit a per-step series table (console/CSV).
+inline void print_series(std::string const& value_name,
+                         std::vector<std::string> const& labels,
+                         std::vector<std::vector<double>> const& series,
+                         int sample_every, bool csv, int precision = 3) {
+  Table const table =
+      make_series_table(labels, series, sample_every, precision);
   std::cout << "# series: " << value_name << " (sampled every "
             << sample_every << " steps)\n";
   if (csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+}
+
+/// print_series plus the shared --json handling.
+inline void emit_series(std::string const& value_name,
+                        std::vector<std::string> const& labels,
+                        std::vector<std::vector<double>> const& series,
+                        int sample_every, Options const& opts,
+                        std::string_view bench_name, int precision = 3) {
+  Table const table =
+      make_series_table(labels, series, sample_every, precision);
+  std::cout << "# series: " << value_name << " (sampled every "
+            << sample_every << " steps)\n";
+  if (opts.get_bool("csv", false)) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  auto const path = json_output_path(opts, bench_name);
+  if (!path.empty()) {
+    write_bench_json(path, bench_name, opts,
+                     {{value_name, &table}});
+    std::cout << "# wrote " << path << "\n";
   }
 }
 

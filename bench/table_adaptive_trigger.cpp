@@ -56,11 +56,7 @@ int main(int argc, char** argv) {
         .add_cell(result.totals.t_total, 1)
         .add_cell(result.totals.migrations);
   }
-  if (opts.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::emit_table(opts, "table_adaptive_trigger", table);
   std::cout << "# expected shape: adaptive triggers invoke the balancer "
                "more often, cutting t_p by more than the extra t_lb they "
                "cost — the payoff of a scalable balancer\n";

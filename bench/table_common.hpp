@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "lb/lb_types.hpp"
 #include "lbaf/experiment.hpp"
 #include "lbaf/workload.hpp"
@@ -50,9 +51,9 @@ inline TableSetup make_table_setup(Options const& opts) {
   return setup;
 }
 
-/// Print one experiment's trial-0 records in the paper's table layout.
-inline void print_iteration_table(lbaf::ExperimentResult const& result,
-                                  bool csv) {
+/// Build one experiment's trial-0 records in the paper's table layout.
+[[nodiscard]] inline Table
+make_iteration_table(lbaf::ExperimentResult const& result) {
   Table table{{"Iteration", "Transfers", "Rejected", "Rejection rate (%)",
                "Imbalance (I)"}};
   table.begin_row()
@@ -69,6 +70,21 @@ inline void print_iteration_table(lbaf::ExperimentResult const& result,
         .add_cell(r.rejection_rate, 2)
         .add_cell(r.imbalance, 3);
   }
+  return table;
+}
+
+/// Print one experiment's trial-0 records (CSV with --csv) and write the
+/// --json document when requested.
+inline void emit_iteration_table(lbaf::ExperimentResult const& result,
+                                 Options const& opts,
+                                 std::string_view bench_name) {
+  emit_table(opts, bench_name, make_iteration_table(result));
+}
+
+/// Back-compat console-only form.
+inline void print_iteration_table(lbaf::ExperimentResult const& result,
+                                  bool csv) {
+  Table const table = make_iteration_table(result);
   if (csv) {
     table.print_csv(std::cout);
   } else {

@@ -49,11 +49,7 @@ int main(int argc, char** argv) {
         .add_cell(ra[i].imbalance, 3)
         .add_cell(rb[i].imbalance, 3);
   }
-  if (opts.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::emit_table(opts, "table_criterion_compare", table);
   std::cout << "# paper shape: criterion 35 stalls high; criterion 37 "
                "converges ~300x lower\n";
   return 0;

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   };
 
   bool const csv = opts.get_bool("csv", false);
+  std::vector<std::pair<std::string, Table>> emitted;
   for (auto const& c : cases) {
     std::cout << "# Extension (paper footnote 2): TemperedLB efficacy vs "
                  "per-rank knowledge cap — "
@@ -72,6 +73,18 @@ int main(int argc, char** argv) {
       table.print(std::cout);
     }
     std::cout << "\n";
+    emitted.emplace_back(c.name, std::move(table));
+  }
+  if (auto const path =
+          bench::json_output_path(opts, "table_knowledge_cap");
+      !path.empty()) {
+    std::vector<std::pair<std::string, Table const*>> tables;
+    tables.reserve(emitted.size());
+    for (auto const& [label, table] : emitted) {
+      tables.emplace_back(label, &table);
+    }
+    bench::write_bench_json(path, "table_knowledge_cap", opts, tables);
+    std::cout << "# wrote " << path << "\n";
   }
   std::cout << "# expected shape: caps starve capacity in the clustered "
                "worst case (quality ~ cap) but modest caps already reach "

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "lb/strategy/gossip_strategy.hpp"
 #include "support/config.hpp"
 #include "support/rng.hpp"
@@ -74,11 +75,7 @@ int main(int argc, char** argv) {
         .add_cell(result.migrations.size())
         .add_cell(result.cost.lb_messages);
   }
-  if (opts.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::emit_table(opts, "table_nacks", table);
   std::cout << "# expected shape: NACKs bounce any proposal that would put "
                "the recipient above l_ave, re-imposing the original "
                "criterion's restriction and re-introducing the §V-B stall "

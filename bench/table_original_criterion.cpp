@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
             << " k=" << setup.params.rounds << " f=" << setup.params.fanout
             << " h=" << setup.params.threshold << "\n";
   auto const result = lbaf::run_experiment(setup.params, setup.workload);
-  bench::print_iteration_table(result, opts.get_bool("csv", false));
+  bench::emit_iteration_table(result, opts, "table_original_criterion");
   std::cout << "# paper shape: one early drop (280 -> 187), then stall "
                "with ~100% rejection\n";
   return 0;

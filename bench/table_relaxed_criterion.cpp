@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
             << " k=" << setup.params.rounds << " f=" << setup.params.fanout
             << " h=" << setup.params.threshold << "\n";
   auto const result = lbaf::run_experiment(setup.params, setup.workload);
-  bench::print_iteration_table(result, opts.get_bool("csv", false));
+  bench::emit_iteration_table(result, opts, "table_relaxed_criterion");
   std::cout << "# paper shape: I collapses in iteration 1 (280 -> 3.34) "
                "and converges near the max-task floor (0.623)\n";
   return 0;

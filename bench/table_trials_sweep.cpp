@@ -49,11 +49,7 @@ int main(int argc, char** argv) {
       table.add_cell(result.best_imbalance, 3);
     }
   }
-  if (opts.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::emit_table(opts, "table_trials_sweep", table);
   std::cout << "# expected shape: iterations dominate; extra trials give "
                "small additional gains (the paper used 10x8)\n";
   return 0;

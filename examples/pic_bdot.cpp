@@ -11,6 +11,10 @@
 
 #include <iostream>
 
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/tracer.hpp"
 #include "pic/app.hpp"
 #include "pic/trace.hpp"
 #include "support/config.hpp"
@@ -33,6 +37,15 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0xE3));
   cfg.runtime_threads = static_cast<int>(opts.get_int("threads", 1));
   cfg.lb_params.rounds = static_cast<int>(opts.get_int("rounds", 5));
+
+  // --telemetry: record spans/metrics/LB introspection over the whole run
+  // and dump them as machine-readable JSON at the end.
+  bool const telemetry = opts.get_bool("telemetry", false);
+  if (telemetry) {
+    obs::set_enabled(true);
+    obs::Tracer::instance().clear();
+    obs::registry().clear();
+  }
 
   pic::PicApp app{cfg};
   std::cout << "B-Dot surrogate: "
@@ -71,6 +84,28 @@ int main(int argc, char** argv) {
   if (auto const trace = opts.get("trace")) {
     pic::write_trace_csv(*trace, result);
     std::cout << "\nper-step trace written to " << *trace << "\n";
+  }
+
+  if (telemetry) {
+    auto const prefix = opts.get_string("out-prefix", "pic_bdot");
+    app.runtime().publish_metrics(obs::registry());
+    {
+      auto os = obs::open_output_file(prefix + ".trace.json");
+      obs::Tracer::instance().write_chrome_trace(os);
+    }
+    {
+      auto os = obs::open_output_file(prefix + ".metrics.json");
+      obs::registry().write_json(os);
+    }
+    std::cout << "\nwrote " << prefix << ".trace.json ("
+              << obs::Tracer::instance().event_count() << " events) and "
+              << prefix << ".metrics.json\n";
+    if (auto const* manager = app.lb_manager()) {
+      auto os = obs::open_output_file(prefix + ".lb_report.json");
+      manager->write_introspection_json(os);
+      std::cout << "wrote " << prefix << ".lb_report.json ("
+                << manager->introspection().size() << " invocations)\n";
+    }
   }
   return 0;
 }

@@ -19,9 +19,10 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target test_runtime test_strategies
+  --target test_runtime test_strategies test_obs
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "./${BUILD_DIR}/tests/test_runtime"
 "./${BUILD_DIR}/tests/test_strategies"
-echo "tsan.sh: runtime + strategy suites clean under ThreadSanitizer" >&2
+"./${BUILD_DIR}/tests/test_obs"
+echo "tsan.sh: runtime + strategy + obs suites clean under ThreadSanitizer" >&2

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "lb/transfer.hpp"
+#include "obs/lb_report.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/collectives.hpp"
 #include "support/assert.hpp"
 #include "support/check.hpp"
@@ -38,6 +40,7 @@ struct Shared {
   std::size_t max_knowledge = 0; ///< 0 = unlimited (footnote-2 cap)
   bool use_nacks = false;
   LoadType l_ave = 0.0;
+  obs::LbReportBuilder* report = nullptr; ///< optional introspection sink
 };
 
 /// Pick a gossip peer uniformly from P \ {self}, preferring ranks not yet
@@ -62,10 +65,13 @@ void forward_gossip(std::shared_ptr<Shared> const& shared,
 
 void receive_gossip(std::shared_ptr<Shared> const& shared,
                     rt::RankContext& ctx, Knowledge const& incoming,
-                    int round) {
+                    int round, std::size_t wire_bytes) {
   auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
   st.knowledge.merge(incoming);
   st.knowledge.truncate_random(shared->max_knowledge, ctx.rng());
+  if (shared->report != nullptr) {
+    shared->report->on_gossip_message(round, wire_bytes, st.knowledge.size());
+  }
   if (round < shared->rounds) {
     std::uint64_t const bit = 1ull << round;
     if ((st.forwarded & bit) == 0) {
@@ -89,11 +95,14 @@ void forward_gossip(std::shared_ptr<Shared> const& shared,
   std::size_t const bytes = snapshot->size() + sizeof(int);
   for (int i = 0; i < shared->fanout; ++i) {
     RankId const dest = pick_peer(ctx, st.knowledge);
-    ctx.send(dest, bytes, [shared, snapshot, next_round](rt::RankContext& c) {
-      rt::Unpacker unpacker{*snapshot};
-      Knowledge const incoming = Knowledge::unpack(unpacker);
-      receive_gossip(shared, c, incoming, next_round);
-    });
+    ctx.send(
+        dest, bytes,
+        [shared, snapshot, next_round, bytes](rt::RankContext& c) {
+          rt::Unpacker unpacker{*snapshot};
+          Knowledge const incoming = Knowledge::unpack(unpacker);
+          receive_gossip(shared, c, incoming, next_round, bytes);
+        },
+        rt::MessageKind::gossip);
   }
 }
 
@@ -124,6 +133,7 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
   }
   TLB_EXPECTS(params.rounds >= 1 && params.rounds <= 63);
 
+  TLB_SPAN_ARG("lb", "balance", "ranks", p);
   auto const stats_before = rt.stats();
 
   // Stage 0: constant-size statistics reduction (l_max, l_ave).
@@ -139,6 +149,12 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
     return result; // empty system: nothing to balance
   }
 
+  if (introspection_ != nullptr) {
+    introspection_->set_strategy(std::string{name()});
+    introspection_->set_threshold(params.threshold);
+    introspection_->set_initial_imbalance(result.achieved_imbalance);
+  }
+
   auto shared = std::make_shared<Shared>();
   shared->fanout = params.fanout;
   shared->rounds = params.rounds;
@@ -146,6 +162,7 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
       static_cast<std::size_t>(std::max(0, params.max_knowledge));
   shared->use_nacks = params.use_nacks;
   shared->l_ave = l_ave;
+  shared->report = introspection_;
   shared->states.resize(static_cast<std::size_t>(p));
 
   auto reset_states = [&] {
@@ -167,78 +184,97 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
   std::vector<std::vector<SpecTask>> best_snapshot;
 
   for (int trial = 0; trial < params.num_trials; ++trial) {
+    TLB_SPAN_ARG("lb", "trial", "trial", trial);
     reset_states();
 
     for (int iter = 1; iter <= params.num_iterations; ++iter) {
       // --- Inform epoch (Algorithm 1): seed from underloaded ranks. ---
-      for (RankId r = 0; r < p; ++r) {
-        auto& st = shared->states[static_cast<std::size_t>(r)];
-        st.knowledge.clear();
-        st.forwarded = 0;
-      }
-      rt.post_all([shared, l_ave](rt::RankContext& ctx) {
-        auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
-        if (st.load < l_ave) {
-          st.knowledge.insert(ctx.rank(), st.load);
-          st.forwarded |= 1ull;
-          forward_gossip(shared, ctx, 1);
+      {
+        TLB_SPAN_ARG("lb", "inform", "iter", iter);
+        for (RankId r = 0; r < p; ++r) {
+          auto& st = shared->states[static_cast<std::size_t>(r)];
+          st.knowledge.clear();
+          st.forwarded = 0;
         }
-      });
-      rt.run_until_quiescent();
+        rt.post_all([shared, l_ave](rt::RankContext& ctx) {
+          auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+          if (st.load < l_ave) {
+            st.knowledge.insert(ctx.rank(), st.load);
+            st.forwarded |= 1ull;
+            forward_gossip(shared, ctx, 1);
+          }
+        });
+        rt.run_until_quiescent();
+      }
 
       // --- Transfer pass (Algorithm 2) on every overloaded rank; the
       // accepted proposals are *notification* messages: the task payload
       // does not move until the best state is committed. ---
       double const threshold = params.threshold;
       LbParams const local_params = params;
-      rt.post_all([shared, l_ave, threshold,
-                   local_params](rt::RankContext& ctx) {
-        auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
-        if (st.load <= threshold * l_ave) {
-          return;
-        }
-        std::vector<TaskEntry> entries;
-        entries.reserve(st.tasks.size());
-        for (SpecTask const& t : st.tasks) {
-          entries.push_back({t.id, t.load});
-        }
-        auto const transfer =
-            run_transfer(local_params, ctx.rank(), entries, st.load, l_ave,
-                         st.knowledge, ctx.rng());
-        st.load = transfer.final_load;
-        for (Migration const& m : transfer.migrations) {
-          auto const it =
-              std::find_if(st.tasks.begin(), st.tasks.end(),
-                           [&](SpecTask const& t) { return t.id == m.task; });
-          TLB_ASSERT(it != st.tasks.end());
-          SpecTask moved = *it;
-          st.tasks.erase(it);
-          RankId const sender = ctx.rank();
-          ctx.send(m.to, sizeof(SpecTask),
-                   [shared, moved, sender](rt::RankContext& dest) {
-                     auto& dst = shared->states[static_cast<std::size_t>(
-                         dest.rank())];
-                     // Menon-style negative acknowledgement (optional):
-                     // refuse proposals that would push this rank past the
-                     // average, bouncing the task back to its sender.
-                     if (shared->use_nacks &&
-                         dst.load + moved.load > shared->l_ave) {
-                       dest.send(sender, sizeof(SpecTask),
-                                 [shared, moved](rt::RankContext& back) {
-                                   auto& src = shared->states
-                                       [static_cast<std::size_t>(
-                                           back.rank())];
-                                   src.tasks.push_back(moved);
-                                   src.load += moved.load;
-                                 });
-                       return;
-                     }
-                     dst.tasks.push_back(moved);
-                     dst.load += moved.load;
-                   });
-        }
-      });
-      rt.run_until_quiescent();
+      {
+        TLB_SPAN_ARG("lb", "transfer", "iter", iter);
+        rt.post_all([shared, l_ave, threshold,
+                     local_params](rt::RankContext& ctx) {
+          auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+          if (st.load <= threshold * l_ave) {
+            return;
+          }
+          std::vector<TaskEntry> entries;
+          entries.reserve(st.tasks.size());
+          for (SpecTask const& t : st.tasks) {
+            entries.push_back({t.id, t.load});
+          }
+          auto const transfer =
+              run_transfer(local_params, ctx.rank(), entries, st.load, l_ave,
+                           st.knowledge, ctx.rng());
+          if (shared->report != nullptr) {
+            shared->report->on_transfer_pass(transfer.accepted,
+                                             transfer.rejected,
+                                             transfer.no_target,
+                                             transfer.cmf_rebuilds);
+          }
+          st.load = transfer.final_load;
+          for (Migration const& m : transfer.migrations) {
+            auto const it = std::find_if(
+                st.tasks.begin(), st.tasks.end(),
+                [&](SpecTask const& t) { return t.id == m.task; });
+            TLB_ASSERT(it != st.tasks.end());
+            SpecTask moved = *it;
+            st.tasks.erase(it);
+            RankId const sender = ctx.rank();
+            ctx.send(
+                m.to, sizeof(SpecTask),
+                [shared, moved, sender](rt::RankContext& dest) {
+                  auto& dst =
+                      shared->states[static_cast<std::size_t>(dest.rank())];
+                  // Menon-style negative acknowledgement (optional):
+                  // refuse proposals that would push this rank past the
+                  // average, bouncing the task back to its sender.
+                  if (shared->use_nacks &&
+                      dst.load + moved.load > shared->l_ave) {
+                    if (shared->report != nullptr) {
+                      shared->report->on_nack();
+                    }
+                    dest.send(
+                        sender, sizeof(SpecTask),
+                        [shared, moved](rt::RankContext& back) {
+                          auto& src = shared->states[static_cast<std::size_t>(
+                              back.rank())];
+                          src.tasks.push_back(moved);
+                          src.load += moved.load;
+                        },
+                        rt::MessageKind::transfer);
+                    return;
+                  }
+                  dst.tasks.push_back(moved);
+                  dst.load += moved.load;
+                },
+                rt::MessageKind::transfer);
+          }
+        });
+        rt.run_until_quiescent();
+      }
 
       TLB_AUDIT_BLOCK {
         // Speculative transfers (and NACK bounces) only relocate tasks:
@@ -270,6 +306,9 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
       }
       auto const iter_stat = rt::allreduce_loads(rt, spec_loads)[0];
       double const proposed = iter_stat.max / l_ave - 1.0;
+      if (introspection_ != nullptr) {
+        introspection_->on_trial_iteration(trial, iter, proposed);
+      }
 
       if (proposed < best_imbalance || (accept_always && !have_best)) {
         best_imbalance = std::min(best_imbalance, proposed);

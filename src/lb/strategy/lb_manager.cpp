@@ -1,5 +1,8 @@
 #include "lb/strategy/lb_manager.hpp"
 
+#include <optional>
+
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -31,14 +34,38 @@ StrategyResult LbManager::decide(StrategyInput const& input) {
 LbManager::Report LbManager::invoke(StrategyInput const& input,
                                     rt::ObjectStore& store) {
   Report report;
+  report.phase = history_.size();
   report.imbalance_before = imbalance(input.rank_loads());
+
+  // Telemetry on: hand the strategy a report builder for this invocation.
+  std::optional<obs::LbReportBuilder> builder;
+  if (obs::enabled()) {
+    builder.emplace();
+    // Baseline metadata for strategies that ignore the builder; the
+    // gossip strategies overwrite these with their own view.
+    builder->set_strategy(std::string{strategy_->name()});
+    builder->set_threshold(params_.threshold);
+    builder->set_initial_imbalance(report.imbalance_before);
+    strategy_->set_introspection(&*builder);
+  }
 
   StrategyResult result = strategy_->balance(*rt_, input, params_);
   report.imbalance_after = result.achieved_imbalance;
   report.cost = result.cost;
   report.migration_payload_bytes = store.migrate(*rt_, result.migrations);
+
+  if (builder) {
+    strategy_->set_introspection(nullptr);
+    builder->set_final(report.imbalance_after, result.cost.migration_count,
+                       report.migration_payload_bytes);
+    introspection_.push_back(builder->finish(report.phase));
+  }
   history_.push_back(report);
   return report;
+}
+
+void LbManager::write_introspection_json(std::ostream& os) const {
+  obs::write_lb_reports_json(os, introspection_);
 }
 
 } // namespace tlb::lb

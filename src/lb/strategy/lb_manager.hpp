@@ -7,12 +7,14 @@
 /// through the object store, and records a report the application (or a
 /// bench) can inspect.
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "lb/strategy/strategy.hpp"
+#include "obs/lb_report.hpp"
 #include "runtime/object_store.hpp"
 #include "runtime/phase.hpp"
 
@@ -53,11 +55,23 @@ public:
     return history_;
   }
 
+  /// Per-invocation introspection reports, collected by invoke() whenever
+  /// telemetry is runtime-enabled (tlb::obs::enabled()); empty otherwise.
+  [[nodiscard]] std::vector<obs::LbInvocationReport> const&
+  introspection() const {
+    return introspection_;
+  }
+
+  /// Dump the collected introspection reports as a JSON document
+  /// ({"lb_reports": [...]}).
+  void write_introspection_json(std::ostream& os) const;
+
 private:
   rt::Runtime* rt_;
   std::unique_ptr<Strategy> strategy_;
   LbParams params_;
   std::vector<Report> history_;
+  std::vector<obs::LbInvocationReport> introspection_;
 };
 
 } // namespace tlb::lb

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lb/lb_types.hpp"
+#include "obs/lb_report.hpp"
 #include "runtime/runtime.hpp"
 #include "support/types.hpp"
 
@@ -64,6 +65,16 @@ public:
   [[nodiscard]] virtual StrategyResult balance(rt::Runtime& rt,
                                                StrategyInput const& input,
                                                LbParams const& params) = 0;
+
+  /// Attach (or detach, with nullptr) a telemetry report builder for the
+  /// next balance() call. Optional: strategies that support introspection
+  /// feed it through the builder's on_* callbacks; the rest ignore it.
+  void set_introspection(obs::LbReportBuilder* builder) {
+    introspection_ = builder;
+  }
+
+protected:
+  obs::LbReportBuilder* introspection_ = nullptr;
 };
 
 /// Factory over all registered strategies:

@@ -7,6 +7,7 @@
 #include "lb/criterion.hpp"
 #include "lb/incremental_cmf.hpp"
 #include "lb/order.hpp"
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 #include "support/check.hpp"
 
@@ -21,6 +22,7 @@ TransferResult run_transfer(LbParams const& params, RankId self,
   // Algorithm 2 line 3: pick the traversal order O^p.
   std::vector<TaskEntry> const order =
       order_tasks(params.order, tasks, l_ave, l_p);
+  TLB_SPAN_ARG("lb", "transfer_pass", "candidates", order.size());
 
   // Line 5: the original algorithm builds the CMF exactly once. The
   // incremental mode also builds once — an IncrementalCmf — and then
@@ -30,8 +32,10 @@ TransferResult run_transfer(LbParams const& params, RankId self,
   std::optional<IncrementalCmf> inc;
   if (params.refresh == CmfRefresh::build_once) {
     cmf.emplace(params.cmf, knowledge.entries(), l_ave, self);
+    ++result.cmf_rebuilds;
   } else if (params.refresh == CmfRefresh::incremental) {
     inc.emplace(params.cmf, knowledge.entries(), l_ave, self);
+    ++result.cmf_rebuilds;
   }
 
   // Line 6: propose transfers while overloaded and candidates remain.
@@ -44,6 +48,7 @@ TransferResult run_transfer(LbParams const& params, RankId self,
     // speculative load updates shift sampling away from filling ranks.
     if (params.refresh == CmfRefresh::recompute) {
       cmf.emplace(params.cmf, knowledge.entries(), l_ave, self);
+      ++result.cmf_rebuilds;
     }
     if (inc ? inc->empty() : cmf->empty()) {
       ++result.no_target;
@@ -105,6 +110,12 @@ TransferResult run_transfer(LbParams const& params, RankId self,
     } else {
       ++result.rejected;
     }
+  }
+
+  if (inc) {
+    // Fenwick point-updates are not rebuilds; only the O(n) escalations
+    // (normalizer shifts under the modified CMF) count.
+    result.cmf_rebuilds += inc->rebuild_count();
   }
 
   TLB_AUDIT_BLOCK {

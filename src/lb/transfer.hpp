@@ -27,6 +27,10 @@ struct TransferResult {
   std::size_t rejected = 0;
   /// Candidates skipped because no sampleable recipient existed.
   std::size_t no_target = 0;
+  /// O(n) CMF constructions this pass: 1 for build_once, one per
+  /// candidate for recompute, 1 + the Fenwick escalation count for
+  /// incremental (observability for the §V-A change-#3 cost claim).
+  std::size_t cmf_rebuilds = 0;
   /// This rank's load after the proposed (speculative) transfers.
   LoadType final_load = 0.0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lb/transfer.hpp"
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 
 namespace tlb::lbaf {
@@ -29,15 +30,22 @@ std::vector<Migration> diff_assignments(Assignment const& initial,
 } // namespace
 
 ExperimentResult run_experiment(lb::LbParams const& params,
-                                Workload const& workload) {
+                                Workload const& workload,
+                                obs::LbReportBuilder* report) {
   TLB_EXPECTS(params.num_trials >= 1);
   TLB_EXPECTS(params.num_iterations >= 1);
   TLB_EXPECTS(params.rounds >= 1 && params.rounds <= 63);
 
+  TLB_SPAN_ARG("lbaf", "experiment", "trials", params.num_trials);
   Assignment const initial{workload};
   ExperimentResult result;
   result.initial_imbalance = initial.imbalance();
   result.best_imbalance = result.initial_imbalance;
+  if (report != nullptr) {
+    report->set_strategy("lbaf");
+    report->set_threshold(params.threshold);
+    report->set_initial_imbalance(result.initial_imbalance);
+  }
 
   // l_ave is invariant: no load enters or leaves the system.
   LoadType const l_ave = initial.average_load();
@@ -66,6 +74,14 @@ ExperimentResult run_experiment(lb::LbParams const& params,
                      &gossip_stats,
                      static_cast<std::size_t>(
                          std::max(0, params.max_knowledge)));
+      if (report != nullptr) {
+        for (std::size_t r = 0; r < gossip_stats.per_round.size(); ++r) {
+          GossipRoundStats const& rs = gossip_stats.per_round[r];
+          report->on_gossip_round(static_cast<int>(r), rs.messages, rs.bytes,
+                                  rs.knowledge_min, rs.knowledge_max,
+                                  rs.knowledge_sum);
+        }
+      }
 
       // Algorithm 3 line 8: TRANSFER on each overloaded rank. Ranks run
       // independently (no visibility into each other's proposals within an
@@ -89,6 +105,10 @@ ExperimentResult run_experiment(lb::LbParams const& params,
                              knowledge[static_cast<std::size_t>(p)], rank_rng);
         record.transfers += transfer.accepted;
         record.rejected += transfer.rejected;
+        if (report != nullptr) {
+          report->on_transfer_pass(transfer.accepted, transfer.rejected,
+                                   transfer.no_target, transfer.cmf_rebuilds);
+        }
         iteration_migrations.insert(iteration_migrations.end(),
                                     transfer.migrations.begin(),
                                     transfer.migrations.end());
@@ -105,6 +125,9 @@ ExperimentResult run_experiment(lb::LbParams const& params,
                     : 0.0;
       record.imbalance = working.imbalance();
       result.records.push_back(record);
+      if (report != nullptr) {
+        report->on_trial_iteration(trial, iter, record.imbalance);
+      }
 
       // Algorithm 3 lines 9-10: keep the best state seen anywhere.
       if (record.imbalance < result.best_imbalance) {
@@ -118,6 +141,11 @@ ExperimentResult run_experiment(lb::LbParams const& params,
 
   if (best_state.has_value()) {
     result.best_migrations = diff_assignments(initial, *best_state);
+  }
+  if (report != nullptr) {
+    // The sequential emulation moves no payload bytes; only the count.
+    report->set_final(result.best_imbalance, result.best_migrations.size(),
+                      0);
   }
   return result;
 }

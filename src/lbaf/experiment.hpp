@@ -20,6 +20,7 @@
 #include "lbaf/assignment.hpp"
 #include "lbaf/gossip_sim.hpp"
 #include "lbaf/workload.hpp"
+#include "obs/lb_report.hpp"
 
 namespace tlb::lbaf {
 
@@ -47,9 +48,13 @@ struct ExperimentResult {
   std::vector<Migration> best_migrations;
 };
 
-/// Run Algorithm 3 on a workload.
-[[nodiscard]] ExperimentResult run_experiment(lb::LbParams const& params,
-                                              Workload const& workload);
+/// Run Algorithm 3 on a workload. When `report` is non-null the run also
+/// feeds it the per-round gossip statistics, the per-iteration
+/// objective/transfer trajectory, and the final outcome (the sequential
+/// analogue of the distributed strategies' introspection).
+[[nodiscard]] ExperimentResult
+run_experiment(lb::LbParams const& params, Workload const& workload,
+               obs::LbReportBuilder* report = nullptr);
 
 /// Convenience: the records for a single trial, in iteration order.
 [[nodiscard]] std::vector<IterationRecord>

@@ -1,5 +1,6 @@
 #include "lbaf/gossip_sim.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 
@@ -57,6 +58,7 @@ run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
   // Bitmask of rounds each rank has already forwarded at (k <= 64).
   std::vector<std::uint64_t> forwarded(rank_loads.size(), 0);
   GossipStats local_stats;
+  local_stats.per_round.resize(static_cast<std::size_t>(rounds) + 1);
 
   if (num_ranks == 1) {
     if (stats != nullptr) {
@@ -101,6 +103,17 @@ run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
 
     knowledge[pi].merge(*msg.payload);
     knowledge[pi].truncate_random(max_knowledge, rng);
+
+    auto& round_stats = local_stats.per_round[static_cast<std::size_t>(
+        std::min(msg.round, rounds))];
+    std::size_t const k = knowledge[pi].size();
+    round_stats.knowledge_min = round_stats.messages == 0
+                                    ? k
+                                    : std::min(round_stats.knowledge_min, k);
+    round_stats.knowledge_max = std::max(round_stats.knowledge_max, k);
+    round_stats.knowledge_sum += k;
+    ++round_stats.messages;
+    round_stats.bytes += msg.payload->wire_bytes();
 
     if (msg.round < rounds) {
       std::uint64_t const bit = 1ull << msg.round;

@@ -21,11 +21,23 @@
 
 namespace tlb::lbaf {
 
+/// Per-round-index traffic/propagation statistics within one epoch.
+struct GossipRoundStats {
+  std::size_t messages = 0;      ///< deliveries processed at this round
+  std::size_t bytes = 0;         ///< serialized knowledge bytes of those
+  std::size_t knowledge_min = 0; ///< smallest post-merge knowledge size
+  std::size_t knowledge_max = 0; ///< largest post-merge knowledge size
+  std::size_t knowledge_sum = 0; ///< sum of post-merge knowledge sizes
+};
+
 /// Traffic statistics from one gossip epoch.
 struct GossipStats {
   std::size_t messages = 0;       ///< total gossip messages delivered
   std::size_t bytes = 0;          ///< total serialized knowledge bytes
   std::size_t max_round_seen = 0; ///< deepest round that fired
+  /// Indexed by round (entry 0 unused: deliveries start at round 1).
+  /// Sized rounds + 1; rounds that never fired stay all-zero.
+  std::vector<GossipRoundStats> per_round;
 };
 
 /// Run one inform epoch.

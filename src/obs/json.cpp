@@ -1,0 +1,183 @@
+#include "obs/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+
+#include "support/assert.hpp"
+
+namespace tlb::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char const c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\b': out += "\\b"; break;
+    case '\f': out += "\\f"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_{&os}, indent_{indent} {
+  TLB_EXPECTS(indent >= 0);
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    // Value following its key: no comma, no newline.
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_) {
+    *os_ << ',';
+  }
+  if (indent_ > 0 && !stack_.empty()) {
+    *os_ << '\n'
+         << std::string(static_cast<std::size_t>(indent_) * stack_.size(),
+                        ' ');
+  }
+}
+
+void JsonWriter::open(char c) {
+  separate();
+  *os_ << c;
+  stack_.push_back(c);
+  needs_comma_ = false;
+}
+
+void JsonWriter::close(char c) {
+  TLB_EXPECTS(!stack_.empty() && stack_.back() == c);
+  TLB_EXPECTS(!after_key_);
+  stack_.pop_back();
+  if (indent_ > 0 && needs_comma_) {
+    *os_ << '\n'
+         << std::string(static_cast<std::size_t>(indent_) * stack_.size(),
+                        ' ');
+  }
+  *os_ << (c == '{' ? '}' : ']');
+  needs_comma_ = true;
+  if (stack_.empty() && indent_ > 0) {
+    *os_ << '\n';
+  }
+}
+
+void JsonWriter::raw(std::string_view token) {
+  separate();
+  *os_ << token;
+  needs_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close('[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  TLB_EXPECTS(!stack_.empty() && stack_.back() == '{');
+  TLB_EXPECTS(!after_key_);
+  separate();
+  *os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) {
+    *os_ << ' ';
+  }
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  raw('"' + json_escape(v) + '"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(char const* v) {
+  return value(std::string_view{v});
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  raw(json_number(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<long long>(v));
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  return value(static_cast<unsigned long long>(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  raw("null");
+  return *this;
+}
+
+std::ofstream open_output_file(std::string const& path) {
+  std::ofstream os{path};
+  if (!os) {
+    int const err = errno;
+    throw std::runtime_error("cannot open output file '" + path +
+                             "': " + std::generic_category().message(err));
+  }
+  return os;
+}
+
+} // namespace tlb::obs

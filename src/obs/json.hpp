@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file json.hpp
+/// A small streaming JSON writer shared by every machine-readable export
+/// in the telemetry layer (registry snapshots, Chrome traces, LB
+/// introspection reports, bench results). Produces strictly valid JSON:
+/// strings are escaped per RFC 8259, non-finite doubles are emitted as
+/// null, and nesting/comma state is tracked so callers cannot produce
+/// malformed output by construction (violations are contract failures).
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlb::obs {
+
+/// Escape a string for inclusion in a JSON document (without the
+/// surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON token: shortest-ish %.10g form, with NaN and
+/// infinities mapped to null (JSON has no representation for them).
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer. `indent` > 0 pretty-prints with that many spaces per
+/// nesting level; 0 writes compact single-line output (what the Chrome
+/// trace uses — those files get large).
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Write an object key; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(char const* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value_null();
+
+  /// Convenience: key + value in one call.
+  template <typename T> JsonWriter& kv(std::string_view k, T const& v) {
+    key(k);
+    return value(v);
+  }
+
+private:
+  void separate(); ///< emit comma/newline before a new element
+  void open(char c);
+  void close(char c);
+  void raw(std::string_view token);
+
+  std::ostream* os_;
+  int indent_;
+  std::vector<char> stack_;   ///< '{' or '[' per open scope
+  bool needs_comma_ = false;  ///< an element was emitted at this level
+  bool after_key_ = false;    ///< a key is pending its value
+};
+
+/// Open `path` for writing; throws std::runtime_error naming the path and
+/// the errno string when the file cannot be created.
+[[nodiscard]] std::ofstream open_output_file(std::string const& path);
+
+} // namespace tlb::obs

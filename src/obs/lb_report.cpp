@@ -1,0 +1,201 @@
+#include "obs/lb_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace tlb::obs {
+
+namespace {
+
+void update_atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void update_atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+void LbReportBuilder::on_gossip_message(int round, std::uint64_t wire_bytes,
+                                        std::size_t knowledge_size) {
+  auto const k = static_cast<std::uint64_t>(knowledge_size);
+  on_gossip_round(round, 1, wire_bytes, k, k, k);
+}
+
+void LbReportBuilder::on_gossip_round(int round, std::uint64_t messages,
+                                      std::uint64_t bytes,
+                                      std::uint64_t knowledge_min,
+                                      std::uint64_t knowledge_max,
+                                      std::uint64_t knowledge_sum) {
+  if (messages == 0 || round < 0 ||
+      static_cast<std::size_t>(round) >= max_rounds) {
+    return; // out-of-range rounds are dropped, not crashed on
+  }
+  RoundSlot& slot = rounds_[static_cast<std::size_t>(round)];
+  slot.messages.fetch_add(messages, std::memory_order_relaxed);
+  slot.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  slot.knowledge_sum.fetch_add(knowledge_sum, std::memory_order_relaxed);
+  update_atomic_min(slot.knowledge_min, knowledge_min);
+  update_atomic_max(slot.knowledge_max, knowledge_max);
+}
+
+void LbReportBuilder::on_transfer_pass(std::uint64_t accepted,
+                                       std::uint64_t rejected,
+                                       std::uint64_t no_target,
+                                       std::uint64_t cmf_rebuilds) {
+  accepted_.fetch_add(accepted, std::memory_order_relaxed);
+  rejected_.fetch_add(rejected, std::memory_order_relaxed);
+  no_target_.fetch_add(no_target, std::memory_order_relaxed);
+  cmf_rebuilds_.fetch_add(cmf_rebuilds, std::memory_order_relaxed);
+}
+
+void LbReportBuilder::on_trial_iteration(int trial, int iteration,
+                                         double imbalance) {
+  TrialIterationReport step;
+  step.trial = trial;
+  step.iteration = iteration;
+  step.imbalance = imbalance;
+  step.objective = imbalance - threshold_ + 1.0;
+  if (trial != current_trial_) {
+    // New trial: the running best restarts from the initial placement's
+    // objective (Algorithm 3 keeps the incoming distribution as the
+    // incumbent, so the best-so-far can never exceed it).
+    current_trial_ = trial;
+    trial_best_ = initial_imbalance_ - threshold_ + 1.0;
+  }
+  trial_best_ = std::min(trial_best_, step.objective);
+  step.objective_best = trial_best_;
+
+  auto const accepted = accepted_.load(std::memory_order_relaxed);
+  auto const rejected = rejected_.load(std::memory_order_relaxed);
+  auto const no_target = no_target_.load(std::memory_order_relaxed);
+  auto const nacks = nacks_.load(std::memory_order_relaxed);
+  auto const rebuilds = cmf_rebuilds_.load(std::memory_order_relaxed);
+  step.transfers_accepted = accepted - seen_accepted_;
+  step.transfers_rejected = rejected - seen_rejected_;
+  step.transfers_no_target = no_target - seen_no_target_;
+  step.transfer_nacks = nacks - seen_nacks_;
+  step.cmf_rebuilds = rebuilds - seen_cmf_rebuilds_;
+  seen_accepted_ = accepted;
+  seen_rejected_ = rejected;
+  seen_no_target_ = no_target;
+  seen_nacks_ = nacks;
+  seen_cmf_rebuilds_ = rebuilds;
+
+  iterations_.push_back(step);
+}
+
+void LbReportBuilder::set_final(double final_imbalance,
+                                std::uint64_t migration_count,
+                                std::uint64_t migration_bytes) {
+  final_imbalance_ = final_imbalance;
+  migration_count_ = migration_count;
+  migration_bytes_ = migration_bytes;
+}
+
+LbInvocationReport LbReportBuilder::finish(std::size_t phase) const {
+  LbInvocationReport report;
+  report.phase = phase;
+  report.strategy = strategy_;
+  report.threshold = threshold_;
+  report.initial_imbalance = initial_imbalance_;
+  report.final_imbalance = final_imbalance_;
+  report.transfers_accepted = accepted_.load(std::memory_order_relaxed);
+  report.transfers_rejected = rejected_.load(std::memory_order_relaxed);
+  report.transfers_no_target = no_target_.load(std::memory_order_relaxed);
+  report.transfer_nacks = nacks_.load(std::memory_order_relaxed);
+  report.cmf_rebuilds = cmf_rebuilds_.load(std::memory_order_relaxed);
+  report.migration_count = migration_count_;
+  report.migration_bytes = migration_bytes_;
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    RoundSlot const& slot = rounds_[r];
+    auto const messages = slot.messages.load(std::memory_order_relaxed);
+    if (messages == 0) {
+      continue; // round never reached (gossip died out or rounds < r)
+    }
+    GossipRoundReport round;
+    round.round = static_cast<int>(r);
+    round.messages = messages;
+    round.bytes = slot.bytes.load(std::memory_order_relaxed);
+    round.knowledge_min = slot.knowledge_min.load(std::memory_order_relaxed);
+    round.knowledge_max = slot.knowledge_max.load(std::memory_order_relaxed);
+    round.knowledge_avg =
+        static_cast<double>(slot.knowledge_sum.load(
+            std::memory_order_relaxed)) /
+        static_cast<double>(messages);
+    report.rounds.push_back(round);
+  }
+  report.iterations = iterations_;
+  return report;
+}
+
+void write_lb_reports_json(std::ostream& os,
+                           std::vector<LbInvocationReport> const& reports) {
+  JsonWriter w{os};
+  w.begin_object();
+  w.key("lb_reports").begin_array();
+  for (LbInvocationReport const& r : reports) {
+    w.begin_object();
+    w.kv("phase", r.phase);
+    w.kv("strategy", r.strategy);
+    w.kv("threshold", r.threshold);
+    w.kv("initial_imbalance", r.initial_imbalance);
+    w.kv("final_imbalance", r.final_imbalance);
+    w.key("transfers").begin_object();
+    w.kv("accepted", static_cast<unsigned long long>(r.transfers_accepted));
+    w.kv("rejected", static_cast<unsigned long long>(r.transfers_rejected));
+    w.kv("no_target", static_cast<unsigned long long>(r.transfers_no_target));
+    w.kv("nacks", static_cast<unsigned long long>(r.transfer_nacks));
+    w.kv("cmf_rebuilds", static_cast<unsigned long long>(r.cmf_rebuilds));
+    w.end_object();
+    w.key("migrations").begin_object();
+    w.kv("count", static_cast<unsigned long long>(r.migration_count));
+    w.kv("bytes", static_cast<unsigned long long>(r.migration_bytes));
+    w.end_object();
+    w.key("gossip_rounds").begin_array();
+    for (GossipRoundReport const& round : r.rounds) {
+      w.begin_object();
+      w.kv("round", round.round);
+      w.kv("messages", static_cast<unsigned long long>(round.messages));
+      w.kv("bytes", static_cast<unsigned long long>(round.bytes));
+      w.kv("knowledge_min",
+           static_cast<unsigned long long>(round.knowledge_min));
+      w.kv("knowledge_max",
+           static_cast<unsigned long long>(round.knowledge_max));
+      w.kv("knowledge_avg", round.knowledge_avg);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("iterations").begin_array();
+    for (TrialIterationReport const& it : r.iterations) {
+      w.begin_object();
+      w.kv("trial", it.trial);
+      w.kv("iteration", it.iteration);
+      w.kv("imbalance", it.imbalance);
+      w.kv("objective", it.objective);
+      w.kv("objective_best", it.objective_best);
+      w.kv("accepted", static_cast<unsigned long long>(it.transfers_accepted));
+      w.kv("rejected", static_cast<unsigned long long>(it.transfers_rejected));
+      w.kv("no_target",
+           static_cast<unsigned long long>(it.transfers_no_target));
+      w.kv("nacks", static_cast<unsigned long long>(it.transfer_nacks));
+      w.kv("cmf_rebuilds", static_cast<unsigned long long>(it.cmf_rebuilds));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+} // namespace tlb::obs

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file lb_report.hpp
+/// Per-invocation LB introspection: a structured record of what one load
+/// balancer run actually did — gossip propagation per round, the
+/// objective/imbalance trajectory per trial iteration, transfer
+/// dispositions by reason, and migration volume — exportable as JSON.
+///
+/// The types here are deliberately plain (ints, doubles, strings): the
+/// obs layer sits below src/lb in the dependency order, so the report
+/// cannot mention lb types. Strategies feed an LbReportBuilder through
+/// narrow `on_*` callbacks; the builder's handler-side entry points are
+/// thread-safe (relaxed atomics), the driver-side ones are called between
+/// quiescent points only.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tlb::obs {
+
+/// Aggregate gossip statistics for one round index, across every inform
+/// epoch of the invocation (the inform stage reruns per iteration, so
+/// round r's slot sums over all iterations' round-r messages).
+struct GossipRoundReport {
+  int round = 0;
+  std::uint64_t messages = 0;     ///< gossip messages received this round
+  std::uint64_t bytes = 0;        ///< wire bytes of those messages
+  std::uint64_t knowledge_min = 0; ///< smallest post-merge knowledge size
+  std::uint64_t knowledge_max = 0; ///< largest post-merge knowledge size
+  double knowledge_avg = 0.0;      ///< mean post-merge knowledge size
+};
+
+/// One (trial, iteration) step of Algorithm 3's refinement loop.
+struct TrialIterationReport {
+  int trial = 0;
+  int iteration = 0;
+  double imbalance = 0.0; ///< proposed I after this iteration's transfers
+  double objective = 0.0; ///< F(D) = I_D − h + 1 for this iteration
+  /// Running minimum of `objective` within the trial, seeded from the
+  /// initial placement. Non-increasing by construction — mirroring the
+  /// keep-best semantics of Algorithm 3 line 10 and Lemma 1.
+  double objective_best = 0.0;
+  // Deltas for this iteration (not cumulative):
+  std::uint64_t transfers_accepted = 0;
+  std::uint64_t transfers_rejected = 0; ///< criterion said no
+  std::uint64_t transfers_no_target = 0; ///< CMF had no sampleable rank
+  std::uint64_t transfer_nacks = 0;      ///< recipient bounced the task
+  std::uint64_t cmf_rebuilds = 0;        ///< O(n) CMF (re)constructions
+};
+
+/// Everything one LB invocation reported.
+struct LbInvocationReport {
+  std::size_t phase = 0;
+  std::string strategy;
+  double threshold = 0.0; ///< h
+  double initial_imbalance = 0.0;
+  double final_imbalance = 0.0;
+  // Invocation totals:
+  std::uint64_t transfers_accepted = 0;
+  std::uint64_t transfers_rejected = 0;
+  std::uint64_t transfers_no_target = 0;
+  std::uint64_t transfer_nacks = 0;
+  std::uint64_t cmf_rebuilds = 0;
+  std::uint64_t migration_count = 0;
+  std::uint64_t migration_bytes = 0;
+  std::vector<GossipRoundReport> rounds;
+  std::vector<TrialIterationReport> iterations;
+};
+
+/// Write `reports` as a JSON document: {"lb_reports": [...]}.
+void write_lb_reports_json(std::ostream& os,
+                           std::vector<LbInvocationReport> const& reports);
+
+/// Accumulates one invocation's introspection. Lifecycle:
+///
+///   1. driver: set_strategy / set_threshold / set_initial_imbalance;
+///   2. handlers (any thread): on_gossip_message / on_transfer_pass /
+///      on_nack as the protocol runs;
+///   3. driver, at the quiescent point closing each iteration:
+///      on_trial_iteration — snapshots the cumulative transfer counters
+///      and records the delta attributable to that iteration;
+///   4. driver: set_final, then finish() to assemble the report.
+class LbReportBuilder {
+public:
+  /// Round slots are fixed so handler-side recording is allocation-free;
+  /// the protocol caps rounds at 63 (a std::uint64_t forwarded bitmask).
+  static constexpr std::size_t max_rounds = 64;
+
+  void set_strategy(std::string name) { strategy_ = std::move(name); }
+  void set_threshold(double h) { threshold_ = h; }
+  void set_initial_imbalance(double i0) { initial_imbalance_ = i0; }
+
+  /// Handler-side: one gossip message arrived for `round`, carrying
+  /// `wire_bytes`, leaving the receiver with `knowledge_size` known ranks.
+  void on_gossip_message(int round, std::uint64_t wire_bytes,
+                         std::size_t knowledge_size);
+
+  /// Bulk variant for sequential emulations that aggregate a whole round
+  /// before reporting: `messages` deliveries totalling `bytes`, with the
+  /// given min/max/sum of post-merge knowledge sizes. No-op if
+  /// messages == 0.
+  void on_gossip_round(int round, std::uint64_t messages, std::uint64_t bytes,
+                       std::uint64_t knowledge_min, std::uint64_t knowledge_max,
+                       std::uint64_t knowledge_sum);
+
+  /// Handler-side: one rank finished its transfer pass (Algorithm 2).
+  void on_transfer_pass(std::uint64_t accepted, std::uint64_t rejected,
+                        std::uint64_t no_target, std::uint64_t cmf_rebuilds);
+
+  /// Handler-side: a recipient refused a proposed task (Menon NACK).
+  void on_nack() { nacks_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Driver-side, between quiescent points: record the evaluation of one
+  /// (trial, iteration) step with its proposed imbalance.
+  void on_trial_iteration(int trial, int iteration, double imbalance);
+
+  /// Driver-side: final placement outcome.
+  void set_final(double final_imbalance, std::uint64_t migration_count,
+                 std::uint64_t migration_bytes);
+
+  /// Assemble the report (driver-side, after the invocation quiesced).
+  [[nodiscard]] LbInvocationReport finish(std::size_t phase) const;
+
+private:
+  struct RoundSlot {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> knowledge_sum{0};
+    std::atomic<std::uint64_t> knowledge_min{UINT64_MAX};
+    std::atomic<std::uint64_t> knowledge_max{0};
+  };
+
+  // Metadata + driver-side state (single-threaded access).
+  std::string strategy_;
+  double threshold_ = 0.0;
+  double initial_imbalance_ = 0.0;
+  double final_imbalance_ = 0.0;
+  std::uint64_t migration_count_ = 0;
+  std::uint64_t migration_bytes_ = 0;
+  std::vector<TrialIterationReport> iterations_;
+  int current_trial_ = -1;
+  double trial_best_ = 0.0;
+  // Cumulative counter values as of the last on_trial_iteration call,
+  // for computing per-iteration deltas.
+  std::uint64_t seen_accepted_ = 0;
+  std::uint64_t seen_rejected_ = 0;
+  std::uint64_t seen_no_target_ = 0;
+  std::uint64_t seen_nacks_ = 0;
+  std::uint64_t seen_cmf_rebuilds_ = 0;
+
+  // Handler-side accumulators (any thread, relaxed).
+  RoundSlot rounds_[max_rounds];
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> no_target_{0};
+  std::atomic<std::uint64_t> nacks_{0};
+  std::atomic<std::uint64_t> cmf_rebuilds_{0};
+};
+
+} // namespace tlb::obs

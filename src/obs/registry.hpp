@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file registry.hpp
+/// The metrics registry: named metric families with labels (per-rank,
+/// per-strategy, per-category, ...), snapshotable at quiescent points and
+/// exportable as JSON or Prometheus text format.
+///
+/// Registration (counter()/gauge()/histogram()) takes a mutex and returns
+/// a stable reference; the returned metric's operations are lock-free
+/// relaxed atomics. Hot paths must capture the reference once up front —
+/// looking a metric up per event would serialize on the registry mutex.
+///
+/// Identity is (name, labels): the same name with different label sets
+/// yields distinct time series (a "family"), and re-requesting an
+/// existing identity returns the same instance. Requesting an existing
+/// identity as a different metric kind is a contract violation.
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metric.hpp"
+
+namespace tlb::obs {
+
+/// One metric label (dimension), e.g. {"category", "gossip"}.
+struct Label {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(Label const&, Label const&) = default;
+};
+
+using Labels = std::vector<Label>;
+
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+/// Point-in-time copy of one metric, as read by Registry::snapshot().
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::counter;
+  std::uint64_t counter_value = 0; ///< kind == counter
+  std::int64_t gauge_value = 0;    ///< kind == gauge
+  // kind == histogram:
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts; ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class Registry {
+public:
+  Registry() = default;
+  Registry(Registry const&) = delete;
+  Registry& operator=(Registry const&) = delete;
+
+  /// Find-or-create. Labels are canonicalized (sorted by key), so the
+  /// same set in any order names the same metric.
+  [[nodiscard]] Counter& counter(std::string_view name, Labels labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels = {});
+  /// `bounds` are the ascending bucket upper bounds; ignored (the
+  /// existing instance wins) when the identity is already registered.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds,
+                                     Labels labels = {});
+
+  /// Point-in-time copy of every registered metric, in registration
+  /// order. Call at quiescent points; concurrent updates are not torn
+  /// (each field is an atomic) but may be mid-flight.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Export the snapshot as a JSON document:
+  ///   {"metrics": [{"name": ..., "labels": {...}, "kind": ...,
+  ///                 "value": ...}, ...]}
+  void write_json(std::ostream& os) const;
+
+  /// Export in the Prometheus text exposition format. Dots in metric
+  /// names become underscores (`net.messages` -> `net_messages`).
+  void write_prometheus(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drop every registered metric (tests and between-run resets; any
+  /// previously returned references are invalidated).
+  void clear();
+
+private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Constructs the metric object under the registry mutex so that two
+  /// threads racing to register the same identity both get the one
+  /// instance (`bounds` is consumed only for a new histogram entry).
+  Entry& find_or_create(std::string_view name, Labels&& labels,
+                        MetricKind kind, std::vector<double>&& bounds = {});
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_; ///< registration order
+};
+
+/// The process-wide default registry (what the runtime fold-in and the
+/// examples use). Individual components may still own private registries.
+[[nodiscard]] Registry& registry();
+
+} // namespace tlb::obs

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file tracer.hpp
+/// Event tracer emitting Chrome `trace_event` JSON (viewable in Perfetto
+/// or chrome://tracing). Two event shapes:
+///
+///   - spans: RAII SpanGuard records a complete ("ph":"X") event covering
+///     its scope, with an optional numeric argument;
+///   - instants: point events ("ph":"i").
+///
+/// Recording goes to per-thread ring buffers (bounded; overflow drops the
+/// newest event and counts it), drained at quiescent points by
+/// write_chrome_trace(). The per-buffer mutex is uncontended on the hot
+/// path — only the owning thread and a quiescent-point drain ever take
+/// it — so a span costs two clock reads plus one uncontended lock.
+///
+/// Event names and categories must be string literals (or otherwise
+/// outlive the tracer): events store the pointers, not copies.
+///
+/// Use through the macros so disabled builds (TLB_TELEMETRY=OFF) compile
+/// the instrumentation out entirely:
+///
+///   TLB_SPAN("lb", "balance");
+///   TLB_SPAN_ARG("rt", "drain", "n", batch_size);
+///   TLB_INSTANT("rt", "term.wave");
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace tlb::obs {
+
+struct TraceEvent {
+  char const* name = nullptr;
+  char const* cat = nullptr;
+  std::int64_t ts_us = 0;  ///< microseconds since tracer epoch
+  std::int64_t dur_us = 0; ///< complete events; ignored for instants
+  bool instant = false;
+  bool has_arg = false;
+  char const* arg_name = nullptr;
+  double arg_value = 0.0;
+};
+
+class Tracer {
+public:
+  /// The process-wide tracer used by the macros.
+  [[nodiscard]] static Tracer& instance();
+
+  Tracer();
+  Tracer(Tracer const&) = delete;
+  Tracer& operator=(Tracer const&) = delete;
+
+  /// Microseconds since the tracer epoch (steady clock).
+  [[nodiscard]] std::int64_t now_us() const;
+
+  void record(TraceEvent const& event);
+
+  /// Write everything recorded so far as a Chrome trace JSON document
+  /// (non-destructive). Call at quiescent points: concurrent recording
+  /// into a buffer being drained serializes on that buffer's mutex, but
+  /// the resulting document then reflects a mid-flight cut.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Drop all recorded events (dropped-counts included).
+  void clear();
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events lost to ring-buffer overflow since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Ring capacity per thread (events). Exposed for tests.
+  static constexpr std::size_t max_events_per_thread = 1u << 16;
+
+private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    std::uint32_t tid = 0;
+  };
+
+  [[nodiscard]] ThreadBuffer& local_buffer();
+
+  mutable std::mutex mutex_; ///< guards buffers_ (registration + drain)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::int64_t epoch_ns_ = 0;
+};
+
+/// RAII span: records a complete event covering its lifetime when
+/// telemetry is enabled, and is two branches otherwise.
+class SpanGuard {
+public:
+  SpanGuard(char const* cat, char const* name) {
+    if (enabled()) {
+      start(cat, name);
+    }
+  }
+
+  SpanGuard(char const* cat, char const* name, char const* arg_name,
+            double arg_value)
+      : SpanGuard{cat, name} {
+    set_arg(arg_name, arg_value);
+  }
+
+  SpanGuard(SpanGuard const&) = delete;
+  SpanGuard& operator=(SpanGuard const&) = delete;
+
+  /// Attach/overwrite the span's numeric argument (e.g. a batch size
+  /// known only mid-scope).
+  void set_arg(char const* arg_name, double arg_value) {
+    event_.has_arg = true;
+    event_.arg_name = arg_name;
+    event_.arg_value = arg_value;
+  }
+
+  ~SpanGuard() {
+    if (active_) {
+      finish();
+    }
+  }
+
+private:
+  void start(char const* cat, char const* name);
+  void finish();
+
+  TraceEvent event_;
+  bool active_ = false;
+};
+
+/// Record a point event (no scope).
+void instant(char const* cat, char const* name);
+void instant(char const* cat, char const* name, char const* arg_name,
+             double arg_value);
+
+} // namespace tlb::obs
+
+#if TLB_TELEMETRY_ENABLED
+
+#define TLB_OBS_CONCAT_IMPL(a, b) a##b
+#define TLB_OBS_CONCAT(a, b) TLB_OBS_CONCAT_IMPL(a, b)
+
+#define TLB_SPAN(cat, name)                                                    \
+  ::tlb::obs::SpanGuard TLB_OBS_CONCAT(tlb_span_, __LINE__) { cat, name }
+#define TLB_SPAN_ARG(cat, name, arg_name, arg_value)                           \
+  ::tlb::obs::SpanGuard TLB_OBS_CONCAT(tlb_span_, __LINE__) {                  \
+    cat, name, arg_name, static_cast<double>(arg_value)                        \
+  }
+#define TLB_INSTANT(cat, name) ::tlb::obs::instant(cat, name)
+#define TLB_INSTANT_ARG(cat, name, arg_name, arg_value)                        \
+  ::tlb::obs::instant(cat, name, arg_name, static_cast<double>(arg_value))
+
+#else
+
+#define TLB_SPAN(cat, name) ((void)0)
+#define TLB_SPAN_ARG(cat, name, arg_name, arg_value) ((void)0)
+#define TLB_INSTANT(cat, name) ((void)0)
+#define TLB_INSTANT_ARG(cat, name, arg_name, arg_value) ((void)0)
+
+#endif

@@ -126,6 +126,14 @@ public:
   [[nodiscard]] std::size_t particles_in(ColorId color) const;
   [[nodiscard]] std::size_t total_particles() const;
 
+  /// Telemetry access: the underlying runtime (for publish_metrics) and
+  /// the LB manager's introspection reports (null when strategy=none or
+  /// in SPMD mode).
+  [[nodiscard]] rt::Runtime const& runtime() const { return runtime_; }
+  [[nodiscard]] lb::LbManager const* lb_manager() const {
+    return lb_manager_.get();
+  }
+
 private:
   void inject(int step);
   /// Push particles per color, measure work, fill per-rank loads; returns

@@ -2,8 +2,8 @@
 
 #include <fstream>
 #include <ostream>
-#include <stdexcept>
 
+#include "obs/json.hpp"
 #include "support/table.hpp"
 
 namespace tlb::pic {
@@ -36,10 +36,9 @@ void write_trace_csv(std::ostream& os, RunResult const& result) {
 }
 
 void write_trace_csv(std::string const& path, RunResult const& result) {
-  std::ofstream os{path};
-  if (!os) {
-    throw std::runtime_error("cannot open trace file '" + path + "'");
-  }
+  // open_output_file reports the failing path and the errno string
+  // (e.g. a missing parent directory) instead of a bare failure.
+  auto os = obs::open_output_file(path);
   write_trace_csv(os, result);
 }
 

@@ -17,9 +17,11 @@ namespace tlb::rt {
 
 class Mailbox {
 public:
-  void push(Envelope env) {
+  /// Returns the queue depth after the push (for depth watermarking).
+  std::size_t push(Envelope env) {
     std::lock_guard lock{mutex_};
     queue_.push_back(std::move(env));
+    return queue_.size();
   }
 
   /// Pop up to `max_items` messages in FIFO order into `out` (appended).

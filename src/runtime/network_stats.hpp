@@ -2,29 +2,78 @@
 
 /// \file network_stats.hpp
 /// Aggregate traffic counters maintained by the runtime. Used by the LB
-/// cost model (gossip traffic, migration volume) and by the micro-benches.
+/// cost model (gossip traffic, migration volume), the micro-benches, and
+/// the telemetry registry fold-in (Runtime::publish_metrics).
 
+#include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 namespace tlb::rt {
+
+/// Protocol category of a message, for per-category accounting. Sends
+/// default to `other`; the protocol layers tag their traffic explicitly.
+enum class MessageKind : std::uint8_t {
+  other = 0,   ///< untagged application traffic
+  gossip,      ///< inform-epoch knowledge propagation (Algorithm 1)
+  transfer,    ///< transfer-pass proposals and NACK bounces (Algorithm 2)
+  migration,   ///< committed task payload movement
+  termination, ///< termination-detector wave traffic
+};
+
+inline constexpr std::size_t num_message_kinds = 5;
+
+[[nodiscard]] constexpr char const* message_kind_name(MessageKind kind) {
+  switch (kind) {
+  case MessageKind::other:
+    return "other";
+  case MessageKind::gossip:
+    return "gossip";
+  case MessageKind::transfer:
+    return "transfer";
+  case MessageKind::migration:
+    return "migration";
+  case MessageKind::termination:
+    return "termination";
+  }
+  return "unknown";
+}
 
 /// Snapshot of the counters (plain struct for returning by value).
 struct NetworkStatsSnapshot {
   std::size_t messages = 0;
   std::size_t bytes = 0;
   std::size_t local_messages = 0; ///< sends where from == to
+  /// Per-category message/byte counts, indexed by MessageKind. The
+  /// aggregate fields above remain the sums over every category.
+  std::array<std::size_t, num_message_kinds> kind_messages{};
+  std::array<std::size_t, num_message_kinds> kind_bytes{};
+  /// Deepest any mailbox has been (post-push size) since the last reset.
+  std::size_t max_mailbox_depth = 0;
 };
 
 /// Thread-safe counters. Relaxed atomics: the totals are only read at
 /// quiescent points.
 class NetworkStats {
 public:
-  void record_send(bool local, std::size_t bytes) {
+  void record_send(bool local, std::size_t bytes,
+                   MessageKind kind = MessageKind::other) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
     if (local) {
       local_messages_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto const k = static_cast<std::size_t>(kind);
+    kind_messages_[k].fetch_add(1, std::memory_order_relaxed);
+    kind_bytes_[k].fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Record a mailbox's post-push depth (high-watermark gauge).
+  void record_mailbox_depth(std::size_t depth) {
+    std::size_t cur = max_mailbox_depth_.load(std::memory_order_relaxed);
+    while (depth > cur && !max_mailbox_depth_.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
     }
   }
 
@@ -32,18 +81,34 @@ public:
     messages_.store(0, std::memory_order_relaxed);
     bytes_.store(0, std::memory_order_relaxed);
     local_messages_.store(0, std::memory_order_relaxed);
+    for (std::size_t k = 0; k < num_message_kinds; ++k) {
+      kind_messages_[k].store(0, std::memory_order_relaxed);
+      kind_bytes_[k].store(0, std::memory_order_relaxed);
+    }
+    max_mailbox_depth_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] NetworkStatsSnapshot snapshot() const {
-    return {messages_.load(std::memory_order_relaxed),
-            bytes_.load(std::memory_order_relaxed),
-            local_messages_.load(std::memory_order_relaxed)};
+    NetworkStatsSnapshot snap;
+    snap.messages = messages_.load(std::memory_order_relaxed);
+    snap.bytes = bytes_.load(std::memory_order_relaxed);
+    snap.local_messages = local_messages_.load(std::memory_order_relaxed);
+    for (std::size_t k = 0; k < num_message_kinds; ++k) {
+      snap.kind_messages[k] = kind_messages_[k].load(std::memory_order_relaxed);
+      snap.kind_bytes[k] = kind_bytes_[k].load(std::memory_order_relaxed);
+    }
+    snap.max_mailbox_depth =
+        max_mailbox_depth_.load(std::memory_order_relaxed);
+    return snap;
   }
 
 private:
   std::atomic<std::size_t> messages_{0};
   std::atomic<std::size_t> bytes_{0};
   std::atomic<std::size_t> local_messages_{0};
+  std::array<std::atomic<std::size_t>, num_message_kinds> kind_messages_{};
+  std::array<std::atomic<std::size_t>, num_message_kinds> kind_bytes_{};
+  std::atomic<std::size_t> max_mailbox_depth_{0};
 };
 
 } // namespace tlb::rt

@@ -1,5 +1,6 @@
 #include "runtime/object_store.hpp"
 
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 #include "support/check.hpp"
 
@@ -54,6 +55,7 @@ std::size_t ObjectStore::total_tasks() const { return directory_.size(); }
 
 std::size_t ObjectStore::migrate(Runtime& rt,
                                  std::vector<Migration> const& migrations) {
+  TLB_SPAN_ARG("rt", "migrate", "count", migrations.size());
   [[maybe_unused]] std::size_t audit_tasks_before = 0;
   TLB_AUDIT_BLOCK { audit_tasks_before = directory_.size(); }
   std::size_t moved_bytes = 0;
@@ -79,13 +81,18 @@ std::size_t ObjectStore::migrate(Runtime& rt,
     auto* store = this;
     TaskId const task = m.task;
     RankId const to = m.to;
-    rt.post(m.from, [store, shared_payload, task, to, bytes](
-                        RankContext& ctx) {
-      ctx.send(to, bytes, [store, shared_payload, task](RankContext& dest) {
-        store->local_[static_cast<std::size_t>(dest.rank())].emplace(
-            task, std::move(*shared_payload));
-      });
-    });
+    rt.post(
+        m.from,
+        [store, shared_payload, task, to, bytes](RankContext& ctx) {
+          ctx.send(
+              to, bytes,
+              [store, shared_payload, task](RankContext& dest) {
+                store->local_[static_cast<std::size_t>(dest.rank())].emplace(
+                    task, std::move(*shared_payload));
+              },
+              MessageKind::migration);
+        },
+        0, MessageKind::migration);
 
     dir->second = m.to;
     moved_bytes += bytes;

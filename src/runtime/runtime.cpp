@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 #include "support/check.hpp"
 
@@ -10,8 +12,9 @@ namespace tlb::rt {
 
 RankId RankContext::num_ranks() const { return rt_->num_ranks(); }
 
-void RankContext::send(RankId to, std::size_t bytes, Handler handler) {
-  rt_->stats_.record_send(to == rank_, bytes);
+void RankContext::send(RankId to, std::size_t bytes, Handler handler,
+                       MessageKind kind) {
+  rt_->stats_.record_send(to == rank_, bytes, kind);
   rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler)});
 }
 
@@ -30,9 +33,10 @@ Runtime::Runtime(RuntimeConfig config)
   }
 }
 
-void Runtime::post(RankId to, Handler handler, std::size_t bytes) {
+void Runtime::post(RankId to, Handler handler, std::size_t bytes,
+                   MessageKind kind) {
   TLB_EXPECTS(to >= 0 && to < num_ranks());
-  stats_.record_send(false, bytes);
+  stats_.record_send(false, bytes, kind);
   enqueue(Envelope{invalid_rank, to, bytes, std::move(handler)});
 }
 
@@ -50,7 +54,9 @@ void Runtime::enqueue(Envelope env) {
   TLB_AUDIT_BLOCK {
     audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
   }
-  mailboxes_[static_cast<std::size_t>(env.to)].push(std::move(env));
+  auto const depth =
+      mailboxes_[static_cast<std::size_t>(env.to)].push(std::move(env));
+  stats_.record_mailbox_depth(depth);
 }
 
 Rng& Runtime::rank_rng(RankId rank) {
@@ -66,26 +72,31 @@ std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
       config_.random_delivery
           ? mailbox.pop_batch_random(scratch, batch, rank_rng(rank))
           : mailbox.pop_batch(scratch, batch);
-  RankContext ctx{*this, rank};
-  for (Envelope& env : scratch) {
-    env.handler(ctx);
+  if (n == 0) {
+    return 0; // empty poll: keep the spin loop span-free
+  }
+  {
+    TLB_SPAN_ARG("rt", "drain", "n", n);
+    RankContext ctx{*this, rank};
+    for (Envelope& env : scratch) {
+      env.handler(ctx);
+    }
   }
   // Decrement once, after every handler in the batch (and the sends they
   // performed, which have already incremented the counter) completes.
   // Deferring keeps the invariant that in_flight == 0 is unobservable
   // while work remains — the counter only over-estimates — and replaces n
   // hot-atomic RMWs per drain with one.
-  if (n > 0) {
-    TLB_AUDIT_BLOCK {
-      audit_processed_.fetch_add(n, std::memory_order_relaxed);
-    }
-    in_flight_.fetch_sub(static_cast<std::int64_t>(n),
-                         std::memory_order_acq_rel);
+  TLB_AUDIT_BLOCK {
+    audit_processed_.fetch_add(n, std::memory_order_relaxed);
   }
+  in_flight_.fetch_sub(static_cast<std::int64_t>(n),
+                       std::memory_order_acq_rel);
   return n;
 }
 
 void Runtime::run_until_quiescent() {
+  TLB_SPAN("rt", "quiesce");
   if (config_.num_threads <= 1) {
     run_sequential();
   } else {
@@ -163,6 +174,22 @@ void Runtime::run_threaded() {
   for (std::thread& t : pool) {
     t.join();
   }
+}
+
+void Runtime::publish_metrics(obs::Registry& registry) const {
+  auto const s = stats_.snapshot();
+  registry.counter("net.messages").set(s.messages);
+  registry.counter("net.bytes").set(s.bytes);
+  registry.counter("net.local_messages").set(s.local_messages);
+  for (std::size_t k = 0; k < num_message_kinds; ++k) {
+    obs::Labels const labels{
+        {"category", message_kind_name(static_cast<MessageKind>(k))}};
+    registry.counter("net.messages_by_category", labels)
+        .set(s.kind_messages[k]);
+    registry.counter("net.bytes_by_category", labels).set(s.kind_bytes[k]);
+  }
+  registry.gauge("net.max_mailbox_depth")
+      .set(static_cast<std::int64_t>(s.max_mailbox_depth));
 }
 
 } // namespace tlb::rt

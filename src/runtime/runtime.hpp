@@ -27,6 +27,10 @@
 #include "support/rng.hpp"
 #include "support/types.hpp"
 
+namespace tlb::obs {
+class Registry;
+}
+
 namespace tlb::rt {
 
 class Runtime;
@@ -41,7 +45,9 @@ public:
   [[nodiscard]] RankId num_ranks() const;
 
   /// Send an active message; `bytes` models the serialized payload size.
-  void send(RankId to, std::size_t bytes, Handler handler);
+  /// `kind` categorizes the traffic for per-category accounting.
+  void send(RankId to, std::size_t bytes, Handler handler,
+            MessageKind kind = MessageKind::other);
 
   /// This rank's deterministic RNG stream.
   [[nodiscard]] Rng& rng();
@@ -64,7 +70,8 @@ public:
   [[nodiscard]] RuntimeConfig const& config() const { return config_; }
 
   /// Inject work onto a rank from the driver (outside any handler).
-  void post(RankId to, Handler handler, std::size_t bytes = 0);
+  void post(RankId to, Handler handler, std::size_t bytes = 0,
+            MessageKind kind = MessageKind::other);
 
   /// Inject the same work onto every rank.
   void post_all(Handler const& handler);
@@ -77,6 +84,11 @@ public:
     return stats_.snapshot();
   }
   void reset_stats() { stats_.reset(); }
+
+  /// Fold the current network counters into a telemetry registry as
+  /// `net.*` metrics (per-category message/byte counters and the
+  /// max-mailbox-depth gauge). Call at quiescent points.
+  void publish_metrics(obs::Registry& registry) const;
 
   /// Deterministic per-rank RNG stream (derived from config seed).
   [[nodiscard]] Rng& rank_rng(RankId rank);

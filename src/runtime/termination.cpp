@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 #include "support/check.hpp"
 
@@ -69,15 +70,19 @@ void TerminationDetector::wave_step(RankContext& ctx, std::int64_t sent,
   RankId const next = (r + 1) % p;
   if (next != 0) {
     TerminationDetector self = *this;
-    ctx.send(next, 2 * sizeof(std::int64_t),
-             [self, total_sent, total_recv](RankContext& c) mutable {
-               self.wave_step(c, total_sent, total_recv);
-             });
+    ctx.send(
+        next, 2 * sizeof(std::int64_t),
+        [self, total_sent, total_recv](RankContext& c) mutable {
+          self.wave_step(c, total_sent, total_recv);
+        },
+        MessageKind::termination);
     return;
   }
 
   // Wave completed back at rank 0: apply the four-counter condition.
   st->waves.fetch_add(1, std::memory_order_relaxed);
+  TLB_INSTANT_ARG("rt", "term.wave", "wave",
+                  st->waves.load(std::memory_order_relaxed));
   TLB_AUDIT_BLOCK {
     // Per-rank counters only ever grow, so consecutive wave sums must be
     // monotone — a shrinking sum means a counter update was lost (a data
@@ -112,16 +117,17 @@ void TerminationDetector::wave_step(RankContext& ctx, std::int64_t sent,
   }
   // Launch the next wave.
   TerminationDetector self = *this;
-  ctx.send(0, 2 * sizeof(std::int64_t), [self](RankContext& c) mutable {
-    self.wave_step(c, 0, 0);
-  });
+  ctx.send(
+      0, 2 * sizeof(std::int64_t),
+      [self](RankContext& c) mutable { self.wave_step(c, 0, 0); },
+      MessageKind::termination);
 }
 
 void TerminationDetector::start() {
   TerminationDetector self = *this;
-  rt_->post(0, [self](RankContext& ctx) mutable {
-    self.wave_step(ctx, 0, 0);
-  });
+  rt_->post(
+      0, [self](RankContext& ctx) mutable { self.wave_step(ctx, 0, 0); }, 0,
+      MessageKind::termination);
 }
 
 bool TerminationDetector::terminated() const {

@@ -42,6 +42,13 @@ public:
   /// Record a key (used by tests and for programmatic construction).
   void set(std::string key, std::string value);
 
+  /// All parsed key/value options in sorted key order (for config echoes
+  /// in machine-readable bench output).
+  [[nodiscard]] std::map<std::string, std::string, std::less<>> const&
+  items() const {
+    return values_;
+  }
+
 private:
   std::map<std::string, std::string, std::less<>> values_;
   std::vector<std::string> positional_;

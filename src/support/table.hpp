@@ -32,6 +32,14 @@ public:
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const { return headers_.size(); }
 
+  /// Raw access for machine-readable re-emission (bench --json output).
+  [[nodiscard]] std::vector<std::string> const& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] std::vector<std::vector<std::string>> const& data() const {
+    return rows_;
+  }
+
   /// Render with aligned columns and a header underline.
   void print(std::ostream& os) const;
 

@@ -1,0 +1,187 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "mini_json.hpp"
+
+namespace tlb::obs {
+namespace {
+
+TEST(Metric, CounterIncAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Metric, GaugeSetAddUpdateMax) {
+  Gauge g;
+  g.set(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+  g.update_max(10);
+  EXPECT_EQ(g.value(), 10);
+  g.update_max(4); // below the watermark: no effect
+  EXPECT_EQ(g.value(), 10);
+}
+
+TEST(Metric, HistogramBucketBoundariesAreLeInclusive) {
+  Histogram h{{1.0, 2.0, 4.0}};
+  ASSERT_EQ(h.num_buckets(), 4u);
+  // Prometheus `le` semantics: x <= bound lands in that bucket.
+  h.observe(1.0); // bucket 0 (le 1)
+  h.observe(1.5); // bucket 1 (le 2)
+  h.observe(2.0); // bucket 1 (le 2), boundary inclusive
+  h.observe(4.0); // bucket 2 (le 4)
+  h.observe(4.5); // overflow bucket
+  h.observe(0.0); // bucket 0
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 4.0 + 4.5 + 0.0);
+}
+
+TEST(Registry, FindOrCreateIsIdentityStable) {
+  Registry registry;
+  auto& a = registry.counter("x.count", {{"rank", "0"}});
+  auto& b = registry.counter("x.count", {{"rank", "0"}});
+  auto& c = registry.counter("x.count", {{"rank", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, LabelOrderIsCanonicalized) {
+  Registry registry;
+  auto& a = registry.counter("y", {{"b", "2"}, {"a", "1"}});
+  auto& b = registry.counter("y", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, ConcurrentUpdatesLoseNothing) {
+  Registry registry;
+  constexpr int num_threads = 8;
+  constexpr int per_thread = 20000;
+  auto& counter = registry.counter("smoke.count");
+  auto& gauge = registry.gauge("smoke.max");
+  auto& hist = registry.histogram("smoke.hist", {1.0, 10.0, 100.0});
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        counter.inc();
+        gauge.update_max(t * per_thread + i);
+        hist.observe(static_cast<double>(i % 128));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(num_threads) * per_thread);
+  EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(num_threads) *
+                                   per_thread -
+                               1);
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(num_threads) * per_thread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < hist.num_buckets(); ++i) {
+    bucket_total += hist.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(Registry, ConcurrentRegistrationReturnsOneInstance) {
+  Registry registry;
+  constexpr int num_threads = 8;
+  std::vector<Counter*> seen(num_threads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      auto& c = registry.counter("race.count", {{"category", "gossip"}});
+      c.inc();
+      seen[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 1; t < num_threads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(num_threads));
+}
+
+TEST(Registry, JsonExportParsesBack) {
+  Registry registry;
+  registry.counter("net.messages", {{"category", "gossip"}}).inc(12);
+  registry.gauge("net.depth").set(-3);
+  registry.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+  std::ostringstream os;
+  registry.write_json(os);
+  auto const doc = test::parse_json(os.str());
+  auto const& metrics = doc.at("metrics").array();
+  ASSERT_EQ(metrics.size(), 3u);
+
+  EXPECT_EQ(metrics[0].at("name").str(), "net.messages");
+  EXPECT_EQ(metrics[0].at("kind").str(), "counter");
+  EXPECT_EQ(metrics[0].at("labels").at("category").str(), "gossip");
+  EXPECT_EQ(metrics[0].at("value").num(), 12.0);
+
+  EXPECT_EQ(metrics[1].at("kind").str(), "gauge");
+  EXPECT_EQ(metrics[1].at("value").num(), -3.0);
+
+  EXPECT_EQ(metrics[2].at("kind").str(), "histogram");
+  EXPECT_EQ(metrics[2].at("count").num(), 1.0);
+  ASSERT_EQ(metrics[2].at("buckets").array().size(), 3u);
+}
+
+TEST(Registry, PrometheusExportShape) {
+  Registry registry;
+  registry.counter("net.messages", {{"category", "gossip"}}).inc(5);
+  registry.histogram("span.ms", {1.0, 2.0}).observe(1.5);
+
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  auto const text = os.str();
+  // Dots sanitized, TYPE line present, labels rendered, cumulative
+  // buckets end at +Inf with _sum/_count.
+  EXPECT_NE(text.find("# TYPE net_messages counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("net_messages{category=\"gossip\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE span_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("span_ms_bucket{le=\"+Inf\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("span_ms_count 1"), std::string::npos);
+}
+
+TEST(Registry, ClearDropsEverything) {
+  Registry registry;
+  registry.counter("a").inc();
+  registry.gauge("b").set(1);
+  EXPECT_EQ(registry.size(), 2u);
+  registry.clear();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.counter("a").value(), 0u);
+}
+
+} // namespace
+} // namespace tlb::obs

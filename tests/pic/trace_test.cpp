@@ -61,5 +61,21 @@ TEST(Trace, FileWritingAndBadPath) {
                std::runtime_error);
 }
 
+TEST(Trace, MissingDirectoryErrorNamesPathAndReason) {
+  auto const result = tiny_run();
+  std::string const path = "/tmp/tlb-no-such-dir-12345/trace.csv";
+  try {
+    write_trace_csv(path, result);
+    FAIL() << "expected std::runtime_error";
+  } catch (std::runtime_error const& e) {
+    std::string const what = e.what();
+    // The message must name the failing path and carry the errno text
+    // (e.g. "No such file or directory"), not just a bare failure.
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file or directory"), std::string::npos)
+        << what;
+  }
+}
+
 } // namespace
 } // namespace tlb::pic

@@ -1,0 +1,120 @@
+#include "runtime/network_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/registry.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tlb::rt {
+namespace {
+
+TEST(NetworkStats, PerCategoryCountersSumToAggregate) {
+  NetworkStats stats;
+  stats.record_send(false, 100, MessageKind::gossip);
+  stats.record_send(false, 50, MessageKind::gossip);
+  stats.record_send(true, 10, MessageKind::transfer);
+  stats.record_send(false, 7, MessageKind::migration);
+  stats.record_send(false, 1, MessageKind::termination);
+  stats.record_send(false, 3); // untagged -> other
+
+  auto const snap = stats.snapshot();
+  EXPECT_EQ(snap.messages, 6u);
+  EXPECT_EQ(snap.bytes, 171u);
+  EXPECT_EQ(snap.local_messages, 1u);
+  EXPECT_EQ(snap.kind_messages[static_cast<std::size_t>(
+                MessageKind::gossip)],
+            2u);
+  EXPECT_EQ(
+      snap.kind_bytes[static_cast<std::size_t>(MessageKind::gossip)],
+      150u);
+  EXPECT_EQ(snap.kind_messages[static_cast<std::size_t>(
+                MessageKind::other)],
+            1u);
+
+  std::size_t kind_total_messages = 0;
+  std::size_t kind_total_bytes = 0;
+  for (std::size_t k = 0; k < num_message_kinds; ++k) {
+    kind_total_messages += snap.kind_messages[k];
+    kind_total_bytes += snap.kind_bytes[k];
+  }
+  EXPECT_EQ(kind_total_messages, snap.messages);
+  EXPECT_EQ(kind_total_bytes, snap.bytes);
+}
+
+TEST(NetworkStats, MailboxDepthIsHighWatermark) {
+  NetworkStats stats;
+  stats.record_mailbox_depth(3);
+  stats.record_mailbox_depth(9);
+  stats.record_mailbox_depth(5);
+  EXPECT_EQ(stats.snapshot().max_mailbox_depth, 9u);
+  stats.reset();
+  EXPECT_EQ(stats.snapshot().max_mailbox_depth, 0u);
+}
+
+TEST(NetworkStats, MessageKindNamesAreStable) {
+  EXPECT_STREQ(message_kind_name(MessageKind::other), "other");
+  EXPECT_STREQ(message_kind_name(MessageKind::gossip), "gossip");
+  EXPECT_STREQ(message_kind_name(MessageKind::transfer), "transfer");
+  EXPECT_STREQ(message_kind_name(MessageKind::migration), "migration");
+  EXPECT_STREQ(message_kind_name(MessageKind::termination),
+               "termination");
+}
+
+TEST(Runtime, TaggedSendsLandInTheirCategory) {
+  RuntimeConfig config;
+  config.num_ranks = 4;
+  Runtime runtime{config};
+  runtime.post(
+      1, [](RankContext& ctx) { ctx.send(2, 64, [](RankContext&) {},
+                                         MessageKind::gossip); },
+      16, MessageKind::transfer);
+  runtime.run_until_quiescent();
+
+  auto const snap = runtime.stats();
+  EXPECT_EQ(snap.messages, 2u);
+  EXPECT_EQ(snap.kind_messages[static_cast<std::size_t>(
+                MessageKind::transfer)],
+            1u);
+  EXPECT_EQ(snap.kind_messages[static_cast<std::size_t>(
+                MessageKind::gossip)],
+            1u);
+  EXPECT_EQ(
+      snap.kind_bytes[static_cast<std::size_t>(MessageKind::gossip)],
+      64u);
+  EXPECT_GE(snap.max_mailbox_depth, 1u);
+}
+
+TEST(Runtime, PublishMetricsFoldsIntoRegistry) {
+  RuntimeConfig config;
+  config.num_ranks = 2;
+  Runtime runtime{config};
+  runtime.post(
+      0, [](RankContext& ctx) { ctx.send(1, 32, [](RankContext&) {},
+                                         MessageKind::migration); },
+      8, MessageKind::gossip);
+  runtime.run_until_quiescent();
+
+  obs::Registry registry;
+  runtime.publish_metrics(registry);
+  auto const samples = registry.snapshot();
+  bool saw_migration_category = false;
+  bool saw_depth_gauge = false;
+  for (auto const& s : samples) {
+    if (s.name == "net.messages_by_category" && !s.labels.empty() &&
+        s.labels[0].value == "migration") {
+      saw_migration_category = true;
+      EXPECT_EQ(s.counter_value, 1u);
+    }
+    if (s.name == "net.max_mailbox_depth") {
+      saw_depth_gauge = true;
+      EXPECT_GE(s.gauge_value, 1);
+    }
+  }
+  EXPECT_TRUE(saw_migration_category);
+  EXPECT_TRUE(saw_depth_gauge);
+}
+
+} // namespace
+} // namespace tlb::rt
