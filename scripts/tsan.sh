@@ -19,10 +19,13 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target test_runtime test_strategies test_obs
+  --target test_runtime test_strategies test_obs test_fault
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "./${BUILD_DIR}/tests/test_runtime"
 "./${BUILD_DIR}/tests/test_strategies"
 "./${BUILD_DIR}/tests/test_obs"
-echo "tsan.sh: runtime + strategy + obs suites clean under ThreadSanitizer" >&2
+# The chaos matrix drives the threaded worker-pool driver through drops,
+# delays, duplicates, stalls, and a mid-run crash — the racy-est surface.
+"./${BUILD_DIR}/tests/test_fault"
+echo "tsan.sh: runtime + strategy + obs + fault suites clean under ThreadSanitizer" >&2

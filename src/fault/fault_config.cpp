@@ -1,0 +1,110 @@
+#include "fault/fault_config.hpp"
+
+#include <stdexcept>
+
+namespace tlb::fault {
+
+namespace {
+
+constexpr std::array kProtocolKinds{rt::MessageKind::gossip,
+                                    rt::MessageKind::transfer,
+                                    rt::MessageKind::migration};
+
+} // namespace
+
+FaultConfig& FaultConfig::fault_protocol_kinds(KindFaults const& faults) {
+  for (rt::MessageKind const kind : kProtocolKinds) {
+    kinds[static_cast<std::size_t>(kind)] = faults;
+  }
+  return *this;
+}
+
+FaultConfig FaultConfig::none() {
+  FaultConfig cfg;
+  cfg.name = "none";
+  return cfg;
+}
+
+FaultConfig FaultConfig::drops() {
+  FaultConfig cfg;
+  cfg.name = "drops";
+  cfg.fault_protocol_kinds(KindFaults{.drop = 0.05});
+  return cfg;
+}
+
+FaultConfig FaultConfig::delays() {
+  FaultConfig cfg;
+  cfg.name = "delays";
+  cfg.fault_protocol_kinds(
+      KindFaults{.delay = 0.20, .delay_min_polls = 1, .delay_max_polls = 16});
+  return cfg;
+}
+
+FaultConfig FaultConfig::duplicates() {
+  FaultConfig cfg;
+  cfg.name = "duplicates";
+  cfg.fault_protocol_kinds(KindFaults{.duplicate = 0.05});
+  return cfg;
+}
+
+FaultConfig FaultConfig::stragglers() {
+  FaultConfig cfg;
+  cfg.name = "stragglers";
+  cfg.straggler_stride = 4;
+  cfg.straggler_period = 4;
+  return cfg;
+}
+
+FaultConfig FaultConfig::crash() {
+  FaultConfig cfg;
+  cfg.name = "crash";
+  cfg.crash_rank = 1;
+  cfg.crash_at_poll = 512;
+  cfg.fault_protocol_kinds(KindFaults{.drop = 0.02});
+  return cfg;
+}
+
+FaultConfig FaultConfig::chaos() {
+  FaultConfig cfg;
+  cfg.name = "chaos";
+  cfg.fault_protocol_kinds(KindFaults{.drop = 0.03,
+                                      .duplicate = 0.03,
+                                      .delay = 0.10,
+                                      .delay_min_polls = 1,
+                                      .delay_max_polls = 12});
+  cfg.straggler_stride = 8;
+  cfg.straggler_period = 3;
+  return cfg;
+}
+
+FaultConfig FaultConfig::profile(std::string_view name) {
+  if (name == "none") {
+    return none();
+  }
+  if (name == "drops") {
+    return drops();
+  }
+  if (name == "delays") {
+    return delays();
+  }
+  if (name == "duplicates") {
+    return duplicates();
+  }
+  if (name == "stragglers") {
+    return stragglers();
+  }
+  if (name == "crash") {
+    return crash();
+  }
+  if (name == "chaos") {
+    return chaos();
+  }
+  throw std::invalid_argument{"unknown fault profile: " + std::string{name}};
+}
+
+std::vector<std::string_view> FaultConfig::profile_names() {
+  return {"none",       "drops", "delays", "duplicates",
+          "stragglers", "crash", "chaos"};
+}
+
+} // namespace tlb::fault

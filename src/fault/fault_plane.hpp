@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file fault_plane.hpp
+/// The seeded, deterministic fault plane: interprets a FaultConfig as
+/// per-send and per-drain decisions through the rt::FaultHook interface.
+///
+/// Determinism contract: every decision is a pure function of
+/// (config, seed, decision stream position). Send decisions draw from a
+/// per-sender splitmix stream (handlers of one rank execute
+/// single-threaded, so each stream advances in a deterministic order under
+/// the sequential driver — the chaos suite's reproducibility basis), and
+/// drain gating is a pure function of (rank, poll) with no RNG at all, so
+/// stragglers, stalls, and the crash point replay exactly across runs.
+///
+/// Thread-safety matches the runtime's execution model: stream r is only
+/// touched by rank r's handlers (or the driver stream by the driver
+/// thread), and the crash flag is an atomic published by the crashed
+/// rank's owning worker.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_config.hpp"
+#include "runtime/fault_hook.hpp"
+#include "runtime/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::fault {
+
+class FaultPlane final : public rt::FaultHook {
+public:
+  /// \param config    Fault regime to enact.
+  /// \param num_ranks Rank count of the runtime this plane will serve.
+  /// \param root_seed The run's single root seed (RuntimeConfig::seed);
+  ///                  the plane derives its own stream family from it via
+  ///                  rt::kFaultStreamTag, so fault decisions never
+  ///                  perturb the protocol RNG streams.
+  FaultPlane(FaultConfig config, RankId num_ranks, std::uint64_t root_seed);
+
+  [[nodiscard]] rt::FaultDecision on_send(RankId from, RankId to,
+                                          rt::MessageKind kind) override;
+  [[nodiscard]] rt::DrainGate on_drain(RankId rank,
+                                       std::uint64_t poll) override;
+
+  [[nodiscard]] FaultConfig const& config() const { return config_; }
+  [[nodiscard]] bool crashed(RankId rank) const {
+    return crashed_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Total on_send decisions taken (observability for the bench/tests).
+  [[nodiscard]] std::uint64_t send_decisions() const {
+    return send_decisions_.load(std::memory_order_relaxed);
+  }
+
+private:
+  FaultConfig config_;
+  RankId num_ranks_;
+  bool any_message_faults_;
+  /// One decision stream per sending rank, plus one for the driver
+  /// (from == invalid_rank) at index num_ranks_.
+  std::vector<Rng> send_rngs_;
+  std::vector<std::atomic<bool>> crashed_;
+  std::atomic<std::uint64_t> send_decisions_{0};
+};
+
+/// Construct a FaultPlane for `rt` (seed and rank count come from its
+/// config) and install it as the runtime's fault hook. The returned owner
+/// must outlive the runtime's use of the hook; destroying it without
+/// calling rt.set_fault_hook(nullptr) first is a use-after-free.
+[[nodiscard]] std::unique_ptr<FaultPlane>
+install_fault_plane(rt::Runtime& rt, FaultConfig config);
+
+} // namespace tlb::fault

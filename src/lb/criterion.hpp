@@ -46,7 +46,15 @@ transfer_preserves_objective(LoadType l_x, LoadType task_load, LoadType l_p) {
   LoadType const sender_after = l_p - task_load;
   LoadType const recv_after = l_x + task_load;
   LoadType const after = sender_after > recv_after ? sender_after : recv_after;
-  return task_load > 0.0 ? after < before : after <= before;
+  // Lemma 1 gives a strict decrease in exact arithmetic. The criterion,
+  // however, compares task_load < l_p − l_x while this predicate
+  // recombines l_x + task_load: when task_load is tiny relative to the
+  // loads the two roundings can disagree by an ulp, so the audit checks
+  // non-increase up to a relative rounding tolerance instead of bitwise
+  // strictness.
+  LoadType const tol =
+      1e-12 * (before > LoadType{1} ? before : LoadType{1});
+  return after <= before + tol;
 }
 
 } // namespace tlb::lb

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <memory>
 
 #include "lb/transfer.hpp"
@@ -106,6 +108,93 @@ void forward_gossip(std::shared_ptr<Shared> const& shared,
   }
 }
 
+/// Resilient transfer-epoch state (only used when the runtime has an
+/// active fault plane). Each speculative task move becomes a
+/// sequence-numbered Proposal held by its origin until the destination's
+/// accept/reject acknowledgement arrives; unacknowledged proposals are
+/// retried with exponential backoff and reconciled against the receivers'
+/// dedup tables once the retry budget runs out, so a task is never lost
+/// and never applied twice no matter which leg of the handshake the
+/// network eats.
+struct ResilientXfer {
+  struct Proposal {
+    std::uint64_t seq = 0;
+    SpecTask task;
+    RankId from = invalid_rank;
+    RankId to = invalid_rank;
+    int attempts = 0;
+    // `resolved`/`accepted` are written by the origin rank's ack handler
+    // (or the driver at a quiescent point); `seen` entries only by each
+    // destination's handlers. Distinct locations per writer: no races.
+    char resolved = 0;
+    char accepted = 0;
+  };
+  /// outbox[r] — proposals originated by rank r. Filled once by rank r's
+  /// transfer-pass handler before any send references them; never resized
+  /// afterwards, so Proposal pointers stay stable across retries.
+  std::vector<std::vector<Proposal>> outbox;
+  /// seen[r] — seq → accepted outcome for every proposal rank r has
+  /// decided. The receiver-side dedup table: a duplicated or retried
+  /// proposal replays the recorded outcome instead of re-applying.
+  std::vector<std::map<std::uint64_t, char>> seen;
+
+  explicit ResilientXfer(RankId p)
+      : outbox(static_cast<std::size_t>(p)),
+        seen(static_cast<std::size_t>(p)) {}
+};
+
+constexpr std::size_t kProposalBytes = sizeof(SpecTask) + sizeof(std::uint64_t);
+constexpr std::size_t kAckBytes = sizeof(std::uint64_t) + 1;
+
+/// One delivery attempt of `prop` from the origin rank's context. The
+/// destination decides (or replays) the outcome and acknowledges; the
+/// origin applies a rejection by taking the task back.
+void send_proposal(std::shared_ptr<Shared> const& shared,
+                   std::shared_ptr<ResilientXfer> const& rx,
+                   rt::RankContext& ctx, ResilientXfer::Proposal* prop) {
+  ctx.send(
+      prop->to, kProposalBytes,
+      [shared, rx, prop](rt::RankContext& dest) {
+        auto& decided = rx->seen[static_cast<std::size_t>(dest.rank())];
+        auto const it = decided.find(prop->seq);
+        char accepted;
+        if (it != decided.end()) {
+          accepted = it->second; // duplicate: replay, don't re-apply
+        } else {
+          auto& dst = shared->states[static_cast<std::size_t>(dest.rank())];
+          if (shared->use_nacks &&
+              dst.load + prop->task.load > shared->l_ave) {
+            if (shared->report != nullptr) {
+              shared->report->on_nack();
+            }
+            accepted = 0;
+          } else {
+            dst.tasks.push_back(prop->task);
+            dst.load += prop->task.load;
+            accepted = 1;
+          }
+          decided.emplace(prop->seq, accepted);
+        }
+        dest.send(
+            prop->from, kAckBytes,
+            [shared, prop, accepted](rt::RankContext& back) {
+              if (prop->resolved != 0) {
+                return; // duplicated ack: already settled
+              }
+              prop->resolved = 1;
+              prop->accepted = accepted;
+              if (accepted == 0) {
+                auto& src =
+                    shared->states[static_cast<std::size_t>(back.rank())];
+                src.tasks.push_back(prop->task);
+                src.load += prop->task.load;
+              }
+            },
+            rt::MessageKind::transfer);
+      },
+      rt::MessageKind::transfer);
+}
+
 } // namespace
 
 StrategyResult GossipStrategy::balance(rt::Runtime& rt,
@@ -134,17 +223,37 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
   TLB_EXPECTS(params.rounds >= 1 && params.rounds <= 63);
 
   TLB_SPAN_ARG("lb", "balance", "ranks", p);
+  // Resilient mode engages only when a fault plane is live: fault-free
+  // runs keep the legacy message patterns bit-for-bit (goldens depend on
+  // the exact send sequence each rank's RNG stream sees).
+  bool const resilient = rt.fault_active();
+  rt::RetryPolicy const& retry = rt.config().retry;
   auto const stats_before = rt.stats();
 
   // Stage 0: constant-size statistics reduction (l_max, l_ave).
   auto const initial_loads = input.rank_loads();
-  auto const stat = rt::allreduce_loads(rt, initial_loads)[0];
+  bool stats_complete = true;
+  auto const stat =
+      rt::allreduce_loads(rt, initial_loads,
+                          resilient ? &stats_complete : nullptr)[0];
   LoadType const l_ave = stat.average();
 
   StrategyResult result;
   result.new_rank_loads = initial_loads;
   result.achieved_imbalance =
       l_ave > 0.0 ? stat.max / l_ave - 1.0 : 0.0;
+  if (!stats_complete) {
+    // The statistics reduction never reached some rank (lost or crashed
+    // reduction link): without trustworthy l_ave there is no round to
+    // run. Fall back to the current (last good) task→rank mapping.
+    result.aborted_rounds = 1;
+    result.achieved_imbalance = 0.0;
+    auto const stats_after_abort = rt.stats();
+    result.cost.lb_messages =
+        stats_after_abort.messages - stats_before.messages;
+    result.cost.lb_bytes = stats_after_abort.bytes - stats_before.bytes;
+    return result;
+  }
   if (l_ave <= 0.0) {
     return result; // empty system: nothing to balance
   }
@@ -188,6 +297,11 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
     reset_states();
 
     for (int iter = 1; iter <= params.num_iterations; ++iter) {
+      // Valid until a liveness timeout or incomplete reduction proves
+      // otherwise; an invalid epoch aborts the whole trial and the commit
+      // falls back to the last good snapshot.
+      bool epoch_valid = true;
+
       // --- Inform epoch (Algorithm 1): seed from underloaded ranks. ---
       {
         TLB_SPAN_ARG("lb", "inform", "iter", iter);
@@ -204,7 +318,9 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
             forward_gossip(shared, ctx, 1);
           }
         });
-        rt.run_until_quiescent();
+        // Gossip tolerates loss (knowledge just stays partial), but a
+        // liveness timeout here means the epoch never settled.
+        epoch_valid = rt.run_until_quiescent() && epoch_valid;
       }
 
       // --- Transfer pass (Algorithm 2) on every overloaded rank; the
@@ -212,7 +328,7 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
       // does not move until the best state is committed. ---
       double const threshold = params.threshold;
       LbParams const local_params = params;
-      {
+      if (!resilient) {
         TLB_SPAN_ARG("lb", "transfer", "iter", iter);
         rt.post_all([shared, l_ave, threshold,
                      local_params](rt::RankContext& ctx) {
@@ -274,6 +390,121 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
           }
         });
         rt.run_until_quiescent();
+      } else {
+        // --- Resilient transfer epoch: every speculative move is a
+        // sequence-numbered proposal that the origin holds until the
+        // destination's accept/reject ack lands; lost legs are retried
+        // with exponential backoff and survivors reconciled against the
+        // receivers' dedup tables, so the proposed placement conserves
+        // tasks under arbitrary drop/duplicate/delay injection. ---
+        TLB_SPAN_ARG("lb", "transfer", "iter", iter);
+        auto rx = std::make_shared<ResilientXfer>(p);
+        rt.post_all([shared, rx, l_ave, threshold,
+                     local_params](rt::RankContext& ctx) {
+          auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
+          if (st.load <= threshold * l_ave) {
+            return;
+          }
+          std::vector<TaskEntry> entries;
+          entries.reserve(st.tasks.size());
+          for (SpecTask const& t : st.tasks) {
+            entries.push_back({t.id, t.load});
+          }
+          auto const transfer =
+              run_transfer(local_params, ctx.rank(), entries, st.load, l_ave,
+                           st.knowledge, ctx.rng());
+          if (shared->report != nullptr) {
+            shared->report->on_transfer_pass(transfer.accepted,
+                                             transfer.rejected,
+                                             transfer.no_target,
+                                             transfer.cmf_rebuilds);
+          }
+          st.load = transfer.final_load;
+          auto& outbox = rx->outbox[static_cast<std::size_t>(ctx.rank())];
+          outbox.reserve(transfer.migrations.size());
+          for (Migration const& m : transfer.migrations) {
+            auto const it = std::find_if(
+                st.tasks.begin(), st.tasks.end(),
+                [&](SpecTask const& t) { return t.id == m.task; });
+            TLB_ASSERT(it != st.tasks.end());
+            ResilientXfer::Proposal prop;
+            prop.seq = (static_cast<std::uint64_t>(ctx.rank()) << 32) |
+                       outbox.size();
+            prop.task = *it;
+            prop.from = ctx.rank();
+            prop.to = m.to;
+            prop.attempts = 1;
+            st.tasks.erase(it);
+            outbox.push_back(prop);
+          }
+          // Send only after the outbox is fully built: handlers capture
+          // pointers into it, so it must never grow again.
+          for (auto& pending : outbox) {
+            send_proposal(shared, rx, ctx, &pending);
+          }
+        });
+        epoch_valid = rt.run_until_quiescent() && epoch_valid;
+
+        // Timeout = quiescence with the ack missing: that leg of the
+        // handshake was provably lost. Retry with exponential backoff
+        // until resolved or the attempt budget runs out.
+        int const max_attempts =
+            retry.max_attempts > 0 ? retry.max_attempts : 1;
+        for (;;) {
+          bool retried = false;
+          for (auto& outbox : rx->outbox) {
+            for (auto& prop : outbox) {
+              if (prop.resolved != 0 || prop.attempts >= max_attempts) {
+                continue;
+              }
+              std::uint64_t backoff =
+                  retry.backoff_base_polls
+                  << (static_cast<unsigned>(prop.attempts) - 1u);
+              if (backoff > retry.max_backoff_polls) {
+                backoff = retry.max_backoff_polls;
+              }
+              ++prop.attempts;
+              rt.record_retry(rt::MessageKind::transfer);
+              ResilientXfer::Proposal* pending = &prop;
+              rt.post_delayed(
+                  prop.from,
+                  [shared, rx, pending](rt::RankContext& ctx) {
+                    send_proposal(shared, rx, ctx, pending);
+                  },
+                  backoff, 0, rt::MessageKind::transfer);
+              retried = true;
+            }
+          }
+          if (!retried) {
+            break;
+          }
+          epoch_valid = rt.run_until_quiescent() && epoch_valid;
+        }
+
+        // Reconcile exhausted proposals at this quiescent point. The
+        // receiver's dedup table is ground truth: an entry means the
+        // proposal was applied (or rejected) and only the ack was lost;
+        // no entry means no delivery ever landed. Either way the origin
+        // takes back anything that is not provably accepted.
+        for (auto& outbox : rx->outbox) {
+          for (auto& prop : outbox) {
+            if (prop.resolved != 0) {
+              continue;
+            }
+            auto const& decided =
+                rx->seen[static_cast<std::size_t>(prop.to)];
+            auto const it = decided.find(prop.seq);
+            bool const applied = it != decided.end() && it->second != 0;
+            prop.resolved = 1;
+            prop.accepted = applied ? 1 : 0;
+            if (!applied) {
+              auto& src =
+                  shared->states[static_cast<std::size_t>(prop.from)];
+              src.tasks.push_back(prop.task);
+              src.load += prop.task.load;
+            }
+          }
+        }
       }
 
       TLB_AUDIT_BLOCK {
@@ -304,7 +535,21 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
         spec_loads[static_cast<std::size_t>(r)] =
             shared->states[static_cast<std::size_t>(r)].load;
       }
-      auto const iter_stat = rt::allreduce_loads(rt, spec_loads)[0];
+      bool eval_complete = true;
+      auto const iter_stat =
+          rt::allreduce_loads(rt, spec_loads,
+                              resilient ? &eval_complete : nullptr)[0];
+      if (!eval_complete) {
+        epoch_valid = false;
+      }
+      if (!epoch_valid) {
+        // Abort this LB round: the epoch either failed its liveness
+        // timeout or lost part of a reduction, so the proposed placement
+        // cannot be trusted. The commit below falls back to the last
+        // good snapshot (or, with none, to the current mapping).
+        ++result.aborted_rounds;
+        break;
+      }
       double const proposed = iter_stat.max / l_ave - 1.0;
       if (introspection_ != nullptr) {
         introspection_->on_trial_iteration(trial, iter, proposed);

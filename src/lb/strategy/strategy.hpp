@@ -45,6 +45,11 @@ struct StrategyResult {
   std::vector<LoadType> new_rank_loads;
   /// Expected imbalance I after the migrations.
   double achieved_imbalance = 0.0;
+  /// LB rounds abandoned mid-flight (incomplete reduction, liveness
+  /// timeout). Only non-zero under an active fault plane; an aborted
+  /// round falls back to the last good placement (the best snapshot so
+  /// far, or no migrations at all), never a partial one.
+  std::size_t aborted_rounds = 0;
   StrategyCost cost;
 };
 

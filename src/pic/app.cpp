@@ -14,7 +14,10 @@ rt::RuntimeConfig runtime_config(PicConfig const& config, Mesh const& mesh) {
   rt::RuntimeConfig cfg;
   cfg.num_ranks = mesh.num_ranks();
   cfg.num_threads = config.runtime_threads;
-  cfg.seed = config.seed ^ 0x9e3779b97f4a7c15ull;
+  // Derive the runtime's stream from the app's root seed instead of
+  // reusing it: the app-level Rng and the per-rank runtime Rngs must
+  // never walk the same sequence.
+  cfg.seed = derive_seed(config.seed, 0x9e37'0000'0000'091cull);
   return cfg;
 }
 

@@ -37,17 +37,28 @@ inline int tree_num_children(RankId r, RankId p) {
 /// Allreduce: combine every rank's contribution with `op` and deliver the
 /// global result to every rank. Returns the per-rank results (all equal).
 ///
+/// Under fault injection the reduction tree is fragile by design — one
+/// lost or crashed link starves the root and the down-phase never reaches
+/// some ranks. `complete` (when non-null) reports whether every rank
+/// received the broadcast result before quiescence; callers running with
+/// an active fault plane must check it and treat a false as "this round's
+/// global statistics are unusable" rather than reading the results.
+///
 /// \tparam T   Value type; copied into messages.
 /// \tparam Op  Binary associative combiner: T op(T const&, T const&).
 template <typename T, typename Op>
 std::vector<T> allreduce(Runtime& rt, std::vector<T> const& contributions,
-                         Op op, std::size_t bytes_per_item = sizeof(T)) {
+                         Op op, std::size_t bytes_per_item = sizeof(T),
+                         bool* complete = nullptr) {
   auto const p = rt.num_ranks();
   TLB_EXPECTS(static_cast<RankId>(contributions.size()) == p);
 
   struct NodeState {
     T value{};
     int pending = 0;
+    // Written only by this rank's broadcast_down handler, read by the
+    // driver after quiescence (distinct location per rank: no race).
+    char delivered = 0;
   };
   // Shared per-rank state: each slot is only touched by handlers running
   // on its own rank, which the runtime serializes.
@@ -88,6 +99,7 @@ std::vector<T> allreduce(Runtime& rt, std::vector<T> const& contributions,
     void broadcast_down(RankContext& ctx, T const& value) const {
       auto const r = ctx.rank();
       (*results)[static_cast<std::size_t>(r)] = value;
+      (*state)[static_cast<std::size_t>(r)].delivered = 1;
       Proto proto = *this;
       for (int c = 0; c < 2; ++c) {
         RankId const child = detail::tree_child(r, c);
@@ -112,7 +124,14 @@ std::vector<T> allreduce(Runtime& rt, std::vector<T> const& contributions,
       }
     });
   }
-  rt.run_until_quiescent();
+  bool const quiesced = rt.run_until_quiescent();
+  if (complete != nullptr) {
+    bool all_delivered = true;
+    for (auto const& node : state) {
+      all_delivered = all_delivered && node.delivered != 0;
+    }
+    *complete = quiesced && all_delivered;
+  }
   return results;
 }
 
@@ -138,9 +157,12 @@ struct LoadStat {
 };
 
 /// Allreduce of per-rank loads into global (max, sum, count) statistics.
+/// `complete` as in allreduce(): false means some rank never received the
+/// result (lost or crashed reduction link) and the stats must be discarded.
 inline std::vector<LoadStat> allreduce_loads(Runtime& rt,
                                              std::vector<LoadType> const&
-                                                 loads) {
+                                                 loads,
+                                             bool* complete = nullptr) {
   std::vector<LoadStat> contributions;
   contributions.reserve(loads.size());
   for (LoadType const l : loads) {
@@ -149,7 +171,8 @@ inline std::vector<LoadStat> allreduce_loads(Runtime& rt,
   return allreduce(rt, contributions,
                    [](LoadStat const& a, LoadStat const& b) {
                      return combine(a, b);
-                   });
+                   },
+                   sizeof(LoadStat), complete);
 }
 
 /// Barrier: an allreduce of nothing; completes when every rank reached it.

@@ -9,6 +9,29 @@
 
 namespace tlb::rt {
 
+/// Resilience knobs for the hardened message/migration protocols
+/// (ObjectStore::migrate and the gossip strategy's transfer handshake).
+/// Timeouts in the simulated runtime are quiescence boundaries: a send
+/// whose acknowledgement has not arrived once the network is quiescent is
+/// provably lost (dropped or purged by the fault plane), so each retry
+/// attempt is separated by a run to quiescence and resent after an
+/// exponentially growing poll-count backoff.
+struct RetryPolicy {
+  /// Resend attempts after the initial send before a transfer/migration
+  /// is abandoned (NACKed out) and its task reinstated at the origin.
+  int max_attempts = 4;
+  /// Attempt k's resend is parked for base << (k-1) drain polls of the
+  /// origin rank (bounded by max_backoff_polls) before going out.
+  std::uint64_t backoff_base_polls = 8;
+  std::uint64_t max_backoff_polls = 1024;
+  /// Liveness valve for run_until_quiescent: maximum full sweeps over the
+  /// rank set before the runtime gives up, flushes everything still in
+  /// flight (counted as dropped), and reports failure so the caller can
+  /// fall back. 0 means unlimited — correct protocols always quiesce, so
+  /// the budget exists to convert a wedged round into a clean abort.
+  std::size_t quiesce_poll_budget = 0;
+};
+
 struct RuntimeConfig {
   /// Number of simulated ranks (logical processes).
   RankId num_ranks = 1;
@@ -16,7 +39,15 @@ struct RuntimeConfig {
   /// sequential driver; >1 selects the parallel driver where each worker
   /// owns a contiguous block of ranks and executes their handlers.
   int num_threads = 1;
-  /// Seed from which every rank derives an independent RNG stream.
+  /// The single root seed of every stochastic component in a run. All
+  /// randomized machinery derives its stream from it by splitmix splits:
+  ///   - per-rank handler RNGs (gossip peer selection, CMF sampling,
+  ///     pop_batch_random): Rng{seed}.split(rank);
+  ///   - the fault plane (fault::install_fault_plane): a dedicated
+  ///     fault-stream split (kFaultStreamTag), then one sub-stream per
+  ///     sending rank.
+  /// Reproducing any run — including a chaos-suite failure — therefore
+  /// requires exactly this one value.
   std::uint64_t seed = 0x5eedf00dull;
   /// Messages a rank drains per scheduler visit in the sequential driver
   /// (fairness/progress knob; does not affect the final quiescent state of
@@ -28,6 +59,15 @@ struct RuntimeConfig {
   /// depend on delivery order for correctness, and the test suite runs
   /// them under this mode to prove it.
   bool random_delivery = false;
+  /// Retry/timeout policy for the resilient protocols. Only consulted
+  /// when a fault plane is installed (Runtime::fault_active()); the
+  /// fault-free fast paths stay bit-identical to the historical behavior.
+  RetryPolicy retry;
 };
+
+/// Stream tag reserved for deriving the fault plane's RNG from the root
+/// seed (kept distinct from the per-rank tags 0..P-1 by living far outside
+/// any plausible rank range).
+inline constexpr std::uint64_t kFaultStreamTag = 0xfa17'0000'0000'0001ull;
 
 } // namespace tlb::rt

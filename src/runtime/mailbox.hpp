@@ -4,7 +4,15 @@
 /// Per-rank FIFO message queue. Multiple producers (any rank's scheduler
 /// may send here), single consumer (the worker that owns the rank). The
 /// consumer drains in batches to amortize locking.
+///
+/// Besides the FIFO queue the mailbox carries a small *delay queue*:
+/// messages parked with a due poll count (the rank's drain-visit counter)
+/// that release_due() moves into the FIFO once due. It backs both the
+/// fault plane's delay faults and Runtime::post_delayed (the retry
+/// protocols' backoff). Delayed messages count as in flight, so quiescence
+/// waits for them.
 
+#include <cstdint>
 #include <deque>
 #include <iterator>
 #include <mutex>
@@ -66,19 +74,76 @@ public:
     return n;
   }
 
+  /// Park a message until the rank's drain-visit counter reaches `due`.
+  void push_delayed(Envelope env, std::uint64_t due) {
+    std::lock_guard lock{mutex_};
+    delayed_.push_back(Delayed{std::move(env), due});
+  }
+
+  /// Move every delayed message with due <= now into the FIFO (appended in
+  /// parking order). Returns the number released.
+  std::size_t release_due(std::uint64_t now) {
+    std::lock_guard lock{mutex_};
+    std::size_t released = 0;
+    for (std::size_t i = 0; i < delayed_.size();) {
+      if (delayed_[i].due <= now) {
+        queue_.push_back(std::move(delayed_[i].env));
+        delayed_[i] = std::move(delayed_.back());
+        delayed_.pop_back();
+        ++released;
+      } else {
+        ++i;
+      }
+    }
+    return released;
+  }
+
+  /// Drain everything — queued and delayed alike, due or not — into `out`
+  /// (appended). Used by the runtime's crash purge and abort flush.
+  /// Returns the total removed; `delayed_removed`, when non-null, receives
+  /// how many of them came from the delay queue.
+  std::size_t drain_all(std::vector<Envelope>& out,
+                        std::size_t* delayed_removed = nullptr) {
+    std::lock_guard lock{mutex_};
+    std::size_t const n = queue_.size() + delayed_.size();
+    out.reserve(out.size() + n);
+    out.insert(out.end(), std::move_iterator{queue_.begin()},
+               std::move_iterator{queue_.end()});
+    queue_.clear();
+    for (Delayed& d : delayed_) {
+      out.push_back(std::move(d.env));
+    }
+    if (delayed_removed != nullptr) {
+      *delayed_removed = delayed_.size();
+    }
+    delayed_.clear();
+    return n;
+  }
+
   [[nodiscard]] bool empty() const {
     std::lock_guard lock{mutex_};
-    return queue_.empty();
+    return queue_.empty() && delayed_.empty();
   }
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock{mutex_};
-    return queue_.size();
+    return queue_.size() + delayed_.size();
+  }
+
+  [[nodiscard]] std::size_t delayed_size() const {
+    std::lock_guard lock{mutex_};
+    return delayed_.size();
   }
 
 private:
+  struct Delayed {
+    Envelope env;
+    std::uint64_t due = 0;
+  };
+
   mutable std::mutex mutex_;
   std::deque<Envelope> queue_;
+  std::vector<Delayed> delayed_;
 };
 
 } // namespace tlb::rt

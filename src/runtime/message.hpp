@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "runtime/network_stats.hpp"
 #include "support/types.hpp"
 
 namespace tlb::rt {
@@ -24,6 +25,12 @@ struct Envelope {
   RankId to = invalid_rank;
   std::size_t bytes = 0;      ///< modeled wire size of the payload
   Handler handler;
+  /// Protocol category, carried so drops/purges can be accounted per kind.
+  MessageKind kind = MessageKind::other;
+  /// Set on messages the fault plane must leave alone: clones it created
+  /// itself (a duplicate must not fission) and protocol-internal retry
+  /// triggers injected by the driver.
+  bool fault_exempt = false;
 };
 
 } // namespace tlb::rt

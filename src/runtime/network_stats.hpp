@@ -49,6 +49,14 @@ struct NetworkStatsSnapshot {
   /// aggregate fields above remain the sums over every category.
   std::array<std::size_t, num_message_kinds> kind_messages{};
   std::array<std::size_t, num_message_kinds> kind_bytes{};
+  /// Fault-plane outcomes per category (all zero when no fault plane is
+  /// installed). Dropped counts both send-time drops and crash purges;
+  /// retried counts protocol-level resends (migration/transfer handshake
+  /// retries), recorded by the protocol layers via Runtime::record_retry.
+  std::array<std::size_t, num_message_kinds> kind_dropped{};
+  std::array<std::size_t, num_message_kinds> kind_delayed{};
+  std::array<std::size_t, num_message_kinds> kind_duplicated{};
+  std::array<std::size_t, num_message_kinds> kind_retried{};
   /// Deepest any mailbox has been (post-push size) since the last reset.
   std::size_t max_mailbox_depth = 0;
 };
@@ -69,6 +77,23 @@ public:
     kind_bytes_[k].fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  void record_drop(MessageKind kind) {
+    kind_dropped_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void record_delay(MessageKind kind) {
+    kind_delayed_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void record_duplicate(MessageKind kind) {
+    kind_duplicated_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void record_retry(MessageKind kind) {
+    kind_retried_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   /// Record a mailbox's post-push depth (high-watermark gauge).
   void record_mailbox_depth(std::size_t depth) {
     std::size_t cur = max_mailbox_depth_.load(std::memory_order_relaxed);
@@ -84,6 +109,10 @@ public:
     for (std::size_t k = 0; k < num_message_kinds; ++k) {
       kind_messages_[k].store(0, std::memory_order_relaxed);
       kind_bytes_[k].store(0, std::memory_order_relaxed);
+      kind_dropped_[k].store(0, std::memory_order_relaxed);
+      kind_delayed_[k].store(0, std::memory_order_relaxed);
+      kind_duplicated_[k].store(0, std::memory_order_relaxed);
+      kind_retried_[k].store(0, std::memory_order_relaxed);
     }
     max_mailbox_depth_.store(0, std::memory_order_relaxed);
   }
@@ -96,6 +125,11 @@ public:
     for (std::size_t k = 0; k < num_message_kinds; ++k) {
       snap.kind_messages[k] = kind_messages_[k].load(std::memory_order_relaxed);
       snap.kind_bytes[k] = kind_bytes_[k].load(std::memory_order_relaxed);
+      snap.kind_dropped[k] = kind_dropped_[k].load(std::memory_order_relaxed);
+      snap.kind_delayed[k] = kind_delayed_[k].load(std::memory_order_relaxed);
+      snap.kind_duplicated[k] =
+          kind_duplicated_[k].load(std::memory_order_relaxed);
+      snap.kind_retried[k] = kind_retried_[k].load(std::memory_order_relaxed);
     }
     snap.max_mailbox_depth =
         max_mailbox_depth_.load(std::memory_order_relaxed);
@@ -108,6 +142,10 @@ private:
   std::atomic<std::size_t> local_messages_{0};
   std::array<std::atomic<std::size_t>, num_message_kinds> kind_messages_{};
   std::array<std::atomic<std::size_t>, num_message_kinds> kind_bytes_{};
+  std::array<std::atomic<std::size_t>, num_message_kinds> kind_dropped_{};
+  std::array<std::atomic<std::size_t>, num_message_kinds> kind_delayed_{};
+  std::array<std::atomic<std::size_t>, num_message_kinds> kind_duplicated_{};
+  std::array<std::atomic<std::size_t>, num_message_kinds> kind_retried_{};
   std::atomic<std::size_t> max_mailbox_depth_{0};
 };
 

@@ -63,7 +63,24 @@ public:
   /// which installs it. Runs to quiescence. Migrations whose `from` does
   /// not match the directory are rejected with a contract violation.
   /// Returns the total payload bytes moved.
+  ///
+  /// When the runtime has an active fault plane (rt.fault_active()) the
+  /// batch runs a sequence-numbered commit protocol instead: each payload
+  /// send is acknowledged, deduplicated at the receiver (a duplicated
+  /// commit is a no-op), and retried with bounded exponential backoff per
+  /// rt.config().retry. Migrations whose retry budget is exhausted are
+  /// rolled back — the payload is reinstated at the origin, the directory
+  /// keeps the origin as owner, and the migration is reported through
+  /// failed_migrations(). Without a fault plane the legacy single-shot
+  /// message pattern is used, byte-for-byte identical to prior releases.
   std::size_t migrate(Runtime& rt, std::vector<Migration> const& migrations);
+
+  /// Migrations from the most recent migrate() call whose commit could not
+  /// be completed before the retry budget ran out (only possible under an
+  /// active fault plane). Their tasks remain resident at the origin rank.
+  [[nodiscard]] std::vector<Migration> const& failed_migrations() const {
+    return failed_;
+  }
 
   /// Cumulative payload bytes moved by all migrate() calls.
   [[nodiscard]] std::size_t migration_bytes() const {
@@ -74,8 +91,12 @@ public:
   }
 
 private:
+  std::size_t migrate_resilient(Runtime& rt,
+                                std::vector<Migration> const& migrations);
+
   std::vector<std::map<TaskId, std::unique_ptr<Migratable>>> local_;
   std::map<TaskId, RankId> directory_;
+  std::vector<Migration> failed_;
   std::size_t migration_bytes_ = 0;
   std::size_t migration_count_ = 0;
 };

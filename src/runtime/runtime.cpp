@@ -15,14 +15,15 @@ RankId RankContext::num_ranks() const { return rt_->num_ranks(); }
 void RankContext::send(RankId to, std::size_t bytes, Handler handler,
                        MessageKind kind) {
   rt_->stats_.record_send(to == rank_, bytes, kind);
-  rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler)});
+  rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler), kind});
 }
 
 Rng& RankContext::rng() { return rt_->rank_rng(rank_); }
 
 Runtime::Runtime(RuntimeConfig config)
     : config_{config},
-      mailboxes_(static_cast<std::size_t>(config.num_ranks)) {
+      mailboxes_(static_cast<std::size_t>(config.num_ranks)),
+      polls_(static_cast<std::size_t>(config.num_ranks)) {
   TLB_EXPECTS(config.num_ranks > 0);
   TLB_EXPECTS(config.num_threads >= 1);
   TLB_EXPECTS(config.batch > 0);
@@ -37,7 +38,7 @@ void Runtime::post(RankId to, Handler handler, std::size_t bytes,
                    MessageKind kind) {
   TLB_EXPECTS(to >= 0 && to < num_ranks());
   stats_.record_send(false, bytes, kind);
-  enqueue(Envelope{invalid_rank, to, bytes, std::move(handler)});
+  enqueue(Envelope{invalid_rank, to, bytes, std::move(handler), kind});
 }
 
 void Runtime::post_all(Handler const& handler) {
@@ -46,8 +47,72 @@ void Runtime::post_all(Handler const& handler) {
   }
 }
 
+void Runtime::post_delayed(RankId to, Handler handler,
+                           std::uint64_t delay_polls, std::size_t bytes,
+                           MessageKind kind) {
+  TLB_EXPECTS(to >= 0 && to < num_ranks());
+  stats_.record_send(false, bytes, kind);
+  Envelope env{invalid_rank, to, bytes, std::move(handler), kind,
+               /*fault_exempt=*/true};
+  if (delay_polls == 0) {
+    enqueue_direct(std::move(env));
+    return;
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  TLB_AUDIT_BLOCK {
+    audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto const due =
+      polls_[static_cast<std::size_t>(to)].load(std::memory_order_relaxed) +
+      delay_polls;
+  mailboxes_[static_cast<std::size_t>(to)].push_delayed(std::move(env), due);
+  delayed_pending_.fetch_add(1, std::memory_order_release);
+}
+
 void Runtime::enqueue(Envelope env) {
   TLB_EXPECTS(env.to >= 0 && env.to < num_ranks());
+#if TLB_FAULT_ENABLED
+  if (fault_ != nullptr && !env.fault_exempt) {
+    FaultDecision const decision = fault_->on_send(env.from, env.to, env.kind);
+    switch (decision.action) {
+    case FaultAction::drop:
+      // Refused before it was ever in flight: quiescence is unaffected,
+      // only the per-kind drop counter remembers it.
+      stats_.record_drop(env.kind);
+      TLB_INSTANT_ARG("fault", "drop", "kind", static_cast<int>(env.kind));
+      return;
+    case FaultAction::duplicate: {
+      stats_.record_duplicate(env.kind);
+      TLB_INSTANT_ARG("fault", "duplicate", "kind",
+                      static_cast<int>(env.kind));
+      Envelope clone = env; // Handler is a copyable closure
+      clone.fault_exempt = true;
+      enqueue_direct(std::move(clone));
+      break; // the original still delivers below
+    }
+    case FaultAction::delay: {
+      stats_.record_delay(env.kind);
+      TLB_INSTANT_ARG("fault", "delay", "kind", static_cast<int>(env.kind));
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      TLB_AUDIT_BLOCK {
+        audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto const to = static_cast<std::size_t>(env.to);
+      auto const due = polls_[to].load(std::memory_order_relaxed) +
+                       std::max<std::uint32_t>(1, decision.delay_polls);
+      mailboxes_[to].push_delayed(std::move(env), due);
+      delayed_pending_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    case FaultAction::deliver:
+      break;
+    }
+  }
+#endif
+  enqueue_direct(std::move(env));
+}
+
+void Runtime::enqueue_direct(Envelope env) {
   // Increment strictly before the message becomes visible so in_flight==0
   // can never be observed while work remains.
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
@@ -59,15 +124,73 @@ void Runtime::enqueue(Envelope env) {
   stats_.record_mailbox_depth(depth);
 }
 
+void Runtime::record_retry(MessageKind kind) {
+  stats_.record_retry(kind);
+  TLB_INSTANT_ARG("fault", "retry", "kind", static_cast<int>(kind));
+}
+
 Rng& Runtime::rank_rng(RankId rank) {
   TLB_EXPECTS(rank >= 0 && rank < num_ranks());
   return rank_rngs_[static_cast<std::size_t>(rank)];
 }
 
+void Runtime::purge_rank(RankId rank, std::vector<Envelope>& scratch) {
+  scratch.clear();
+  std::size_t delayed_removed = 0;
+  auto const n = mailboxes_[static_cast<std::size_t>(rank)].drain_all(
+      scratch, &delayed_removed);
+  if (n == 0) {
+    return;
+  }
+  for (Envelope const& env : scratch) {
+    stats_.record_drop(env.kind);
+  }
+  scratch.clear();
+  if (delayed_removed > 0) {
+    delayed_pending_.fetch_sub(static_cast<std::int64_t>(delayed_removed),
+                               std::memory_order_relaxed);
+  }
+  TLB_AUDIT_BLOCK {
+    audit_purged_.fetch_add(n, std::memory_order_relaxed);
+  }
+  in_flight_.fetch_sub(static_cast<std::int64_t>(n),
+                       std::memory_order_acq_rel);
+}
+
+void Runtime::flush_all() {
+  std::vector<Envelope> scratch;
+  for (RankId r = 0; r < num_ranks(); ++r) {
+    purge_rank(r, scratch);
+  }
+}
+
 std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
                                 std::size_t batch) {
+  auto const slot = static_cast<std::size_t>(rank);
+  auto const poll =
+      polls_[slot].fetch_add(1, std::memory_order_relaxed) + 1;
+  auto& mailbox = mailboxes_[slot];
+#if TLB_FAULT_ENABLED
+  if (fault_ != nullptr) {
+    switch (fault_->on_drain(rank, poll)) {
+    case DrainGate::open:
+      break;
+    case DrainGate::stalled:
+      return 0; // transient: messages wait, quiescence keeps spinning
+    case DrainGate::crashed:
+      purge_rank(rank, scratch);
+      return 0;
+    }
+  }
+#endif
+  if (delayed_pending_.load(std::memory_order_acquire) > 0) {
+    auto const released = mailbox.release_due(poll);
+    if (released > 0) {
+      delayed_pending_.fetch_sub(static_cast<std::int64_t>(released),
+                                 std::memory_order_relaxed);
+    }
+  }
   scratch.clear();
-  auto& mailbox = mailboxes_[static_cast<std::size_t>(rank)];
   auto const n =
       config_.random_delivery
           ? mailbox.pop_batch_random(scratch, batch, rank_rng(rank))
@@ -95,43 +218,66 @@ std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
   return n;
 }
 
-void Runtime::run_until_quiescent() {
+bool Runtime::run_until_quiescent() {
+  return run_until_quiescent(config_.retry.quiesce_poll_budget);
+}
+
+bool Runtime::run_until_quiescent(std::size_t max_polls) {
   TLB_SPAN("rt", "quiesce");
+  abort_.store(false, std::memory_order_relaxed);
   if (config_.num_threads <= 1) {
-    run_sequential();
+    run_sequential(max_polls);
   } else {
-    run_threaded();
+    run_threaded(max_polls);
+  }
+  bool const aborted = abort_.load(std::memory_order_relaxed);
+  if (aborted) {
+    // Budget expired with work still in flight. No handler is executing
+    // any more, so everything left lives in the mailboxes: flush it
+    // (counted as dropped) so the runtime is reusable and in-flight is an
+    // honest zero for the next round.
+    flush_all();
+    abort_.store(false, std::memory_order_relaxed);
   }
   TLB_ENSURES(in_flight_.load(std::memory_order_acquire) == 0);
   TLB_AUDIT_BLOCK {
     // Termination-counter consistency: the in-flight counter says zero;
     // the independent totals and the mailboxes themselves must agree that
-    // every message enqueued over the runtime's lifetime ran exactly once.
-    TLB_INVARIANT(audit_processed_.load(std::memory_order_acquire) ==
+    // every message enqueued over the runtime's lifetime ran exactly once
+    // — or was explicitly purged by a crash or an abort flush.
+    TLB_INVARIANT(audit_processed_.load(std::memory_order_acquire) +
+                          audit_purged_.load(std::memory_order_acquire) ==
                       audit_enqueued_.load(std::memory_order_acquire),
-                  "quiescence: every enqueued message processed once");
+                  "quiescence: every enqueued message processed or purged");
     bool drained = true;
     for (Mailbox const& mailbox : mailboxes_) {
       drained = drained && mailbox.empty();
     }
     TLB_INVARIANT(drained, "quiescence: every mailbox empty");
   }
+  return !aborted;
 }
 
-void Runtime::run_sequential() {
+void Runtime::run_sequential(std::size_t max_polls) {
   // Deterministic round-robin: visit ranks in order, draining a bounded
   // batch from each, until the in-flight counter reaches zero.
   std::vector<Envelope> scratch;
   scratch.reserve(static_cast<std::size_t>(config_.batch));
   auto const batch = static_cast<std::size_t>(config_.batch);
+  std::size_t sweeps = 0;
   while (in_flight_.load(std::memory_order_acquire) > 0) {
     for (RankId r = 0; r < num_ranks(); ++r) {
       drain_rank(r, scratch, batch);
     }
+    if (max_polls != 0 && ++sweeps >= max_polls &&
+        in_flight_.load(std::memory_order_acquire) > 0) {
+      abort_.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
-void Runtime::run_threaded() {
+void Runtime::run_threaded(std::size_t max_polls) {
   int const workers =
       std::min<int>(config_.num_threads, static_cast<int>(num_ranks()));
   // Contiguous block ownership: a rank's handlers only ever execute on its
@@ -149,15 +295,25 @@ void Runtime::run_threaded() {
     auto const hi = std::min<RankId>(
         num_ranks(), static_cast<RankId>(
                          static_cast<std::size_t>(w + 1) * ranks_per_worker));
-    pool.emplace_back([this, lo, hi] {
+    pool.emplace_back([this, lo, hi, max_polls] {
       std::vector<Envelope> scratch;
       auto const batch = static_cast<std::size_t>(config_.batch);
       scratch.reserve(batch);
       int idle_spins = 0;
+      std::size_t sweeps = 0;
       while (in_flight_.load(std::memory_order_acquire) > 0) {
+        if (abort_.load(std::memory_order_relaxed)) {
+          return; // another worker exhausted the budget
+        }
         std::size_t processed = 0;
         for (RankId r = lo; r < hi; ++r) {
           processed += drain_rank(r, scratch, batch);
+        }
+        if (max_polls != 0 && ++sweeps >= max_polls) {
+          if (in_flight_.load(std::memory_order_acquire) > 0) {
+            abort_.store(true, std::memory_order_relaxed);
+          }
+          return;
         }
         if (processed == 0) {
           // Backoff: other workers' messages may still be in flight
@@ -187,6 +343,11 @@ void Runtime::publish_metrics(obs::Registry& registry) const {
     registry.counter("net.messages_by_category", labels)
         .set(s.kind_messages[k]);
     registry.counter("net.bytes_by_category", labels).set(s.kind_bytes[k]);
+    registry.counter("net.dropped_by_category", labels).set(s.kind_dropped[k]);
+    registry.counter("net.delayed_by_category", labels).set(s.kind_delayed[k]);
+    registry.counter("net.duplicated_by_category", labels)
+        .set(s.kind_duplicated[k]);
+    registry.counter("net.retried_by_category", labels).set(s.kind_retried[k]);
   }
   registry.gauge("net.max_mailbox_depth")
       .set(static_cast<std::int64_t>(s.max_mailbox_depth));

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "runtime/config.hpp"
+#include "runtime/fault_hook.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/message.hpp"
 #include "runtime/network_stats.hpp"
@@ -76,9 +77,27 @@ public:
   /// Inject the same work onto every rank.
   void post_all(Handler const& handler);
 
+  /// Inject work that stays parked until `to` has been drain-visited
+  /// `delay_polls` more times — the deterministic substitute for a wall
+  /// clock that the retry protocols use for exponential backoff. Delayed
+  /// work counts as in flight, so run_until_quiescent waits for it.
+  /// Exempt from fault injection (it models local scheduling, not wire
+  /// traffic).
+  void post_delayed(RankId to, Handler handler, std::uint64_t delay_polls,
+                    std::size_t bytes = 0,
+                    MessageKind kind = MessageKind::other);
+
   /// Drive all ranks until global quiescence: every posted and sent
   /// message has been processed and no handler is executing.
-  void run_until_quiescent();
+  ///
+  /// `max_polls` (0 = unlimited; default from config().retry.quiesce_poll_
+  /// budget) bounds the number of full sweeps over the rank set. If the
+  /// budget expires with work still in flight, everything still queued is
+  /// flushed (counted as dropped per kind) and the call returns false —
+  /// the liveness valve the LB round-abort path is built on. Returns true
+  /// on a genuine quiescence.
+  bool run_until_quiescent();
+  bool run_until_quiescent(std::size_t max_polls);
 
   [[nodiscard]] NetworkStatsSnapshot stats() const {
     return stats_.snapshot();
@@ -93,6 +112,35 @@ public:
   /// Deterministic per-rank RNG stream (derived from config seed).
   [[nodiscard]] Rng& rank_rng(RankId rank);
 
+  /// Install (or remove, with nullptr) a fault-plane decision hook. The
+  /// hook is consulted on every send and drain visit; the runtime does not
+  /// own it, so the caller must keep it alive until removed. Only
+  /// meaningful in builds configured with -DTLB_FAULT=ON; with the gate
+  /// off the call sites are compiled out and the hook is never consulted.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+
+  /// True when the fault gate is compiled in AND a hook is installed —
+  /// the condition under which the hardened (sequence-numbered, acked,
+  /// retried) protocol paths activate. With no fault plane the protocols
+  /// keep their historical fault-free message patterns bit-identically.
+  [[nodiscard]] bool fault_active() const {
+#if TLB_FAULT_ENABLED
+    return fault_ != nullptr;
+#else
+    return false;
+#endif
+  }
+
+  /// Record a protocol-level resend (retry) for per-kind accounting.
+  void record_retry(MessageKind kind);
+
+  /// Monotone drain-visit counter of `rank` (the fault plane's and delay
+  /// queues' deterministic time base).
+  [[nodiscard]] std::uint64_t rank_polls(RankId rank) const {
+    return polls_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_relaxed);
+  }
+
   /// Audit observability (zero unless the invariant-audit build is active
   /// and enabled): lifetime totals of messages enqueued and handlers run,
   /// maintained independently of the in-flight counter so the auditor can
@@ -104,12 +152,29 @@ public:
     return audit_processed_.load(std::memory_order_acquire);
   }
 
+  /// Messages enqueued but never processed: fault-plane drops never make
+  /// it here (they are refused at enqueue), so this counts crash purges
+  /// and budget-expiry flushes. The quiescence audit accepts
+  /// processed + purged == enqueued.
+  [[nodiscard]] std::uint64_t audit_purged() const {
+    return audit_purged_.load(std::memory_order_acquire);
+  }
+
 private:
   friend class RankContext;
 
   void enqueue(Envelope env);
-  void run_sequential();
-  void run_threaded();
+  /// The fault-oblivious tail of enqueue: counts the message in flight and
+  /// pushes it into the destination mailbox.
+  void enqueue_direct(Envelope env);
+  /// Drop a crashed rank's entire mailbox (queued + delayed), accounting
+  /// every message as dropped so in-flight still reaches zero.
+  void purge_rank(RankId rank, std::vector<Envelope>& scratch);
+  /// Budget-expiry flush: purge every mailbox. Only called when no
+  /// handler is executing (sequential driver, or after workers joined).
+  void flush_all();
+  void run_sequential(std::size_t max_polls);
+  void run_threaded(std::size_t max_polls);
   /// Drain up to `batch` messages from one rank; returns count processed.
   std::size_t drain_rank(RankId rank, std::vector<Envelope>& scratch,
                          std::size_t batch);
@@ -118,9 +183,19 @@ private:
   std::vector<Mailbox> mailboxes_;
   std::vector<Rng> rank_rngs_;
   NetworkStats stats_;
+  FaultHook* fault_ = nullptr;
+  /// Per-rank drain-visit counters. Incremented only by the rank's owning
+  /// worker; read (relaxed) by senders computing delay due-times.
+  std::vector<std::atomic<std::uint64_t>> polls_;
+  /// Messages currently parked in delay queues; lets drain_rank skip the
+  /// release scan entirely on the (overwhelmingly common) delay-free path.
+  std::atomic<std::int64_t> delayed_pending_{0};
+  /// Budget-expiry signal for the threaded driver's workers.
+  std::atomic<bool> abort_{false};
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::uint64_t> audit_enqueued_{0};
   std::atomic<std::uint64_t> audit_processed_{0};
+  std::atomic<std::uint64_t> audit_purged_{0};
 };
 
 } // namespace tlb::rt

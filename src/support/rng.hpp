@@ -109,4 +109,15 @@ private:
   std::uint64_t state_ = 0x853c49e6748fea9bull;
 };
 
+/// Derive a child seed from a root seed and a stream tag: the splitmix
+/// derivation that threads a run's single root seed (RuntimeConfig::seed)
+/// into subordinate components that need a plain integer seed rather than
+/// an Rng (e.g. an embedded runtime's config). Components that can hold an
+/// Rng should prefer Rng{root}.split(tag) directly.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t root,
+                                               std::uint64_t tag) {
+  Rng mixer = Rng{root}.split(tag);
+  return mixer();
+}
+
 } // namespace tlb

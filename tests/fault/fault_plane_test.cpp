@@ -1,0 +1,266 @@
+#include "fault/fault_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "fault/fault_config.hpp"
+#include "runtime/runtime.hpp"
+
+namespace tlb::fault {
+namespace {
+
+rt::RuntimeConfig config(RankId ranks, int threads = 1,
+                         std::uint64_t seed = 0xc0ffee) {
+  rt::RuntimeConfig cfg;
+  cfg.num_ranks = ranks;
+  cfg.num_threads = threads;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A config that faults exactly one kind, with the given probabilities.
+FaultConfig single_kind(rt::MessageKind kind, double drop, double dup,
+                        double delay) {
+  FaultConfig cfg;
+  cfg.name = "test";
+  auto& k = cfg.kinds[static_cast<std::size_t>(kind)];
+  k.drop = drop;
+  k.duplicate = dup;
+  k.delay = delay;
+  k.delay_min_polls = 1;
+  k.delay_max_polls = 4;
+  return cfg;
+}
+
+TEST(FaultConfigTest, ProfilesRoundTripByName) {
+  for (auto const name : FaultConfig::profile_names()) {
+    auto const cfg = FaultConfig::profile(name);
+    EXPECT_EQ(cfg.name, name);
+  }
+  EXPECT_THROW((void)FaultConfig::profile("no-such-profile"),
+               std::invalid_argument);
+}
+
+TEST(FaultConfigTest, CanonicalProfilesLeaveControlTrafficClean) {
+  for (auto const name : FaultConfig::profile_names()) {
+    auto const cfg = FaultConfig::profile(name);
+    EXPECT_FALSE(
+        cfg.kinds[static_cast<std::size_t>(rt::MessageKind::other)].active())
+        << name;
+    EXPECT_FALSE(cfg.kinds[static_cast<std::size_t>(
+                               rt::MessageKind::termination)]
+                     .active())
+        << name;
+  }
+}
+
+TEST(FaultPlaneTest, DecisionsAreDeterministicPerSeed) {
+  FaultPlane a{FaultConfig::chaos(), 8, 42};
+  FaultPlane b{FaultConfig::chaos(), 8, 42};
+  FaultPlane c{FaultConfig::chaos(), 8, 43};
+  int diverged = 0;
+  for (int i = 0; i < 2000; ++i) {
+    RankId const from = static_cast<RankId>(i % 8);
+    RankId const to = static_cast<RankId>((i + 3) % 8);
+    auto const kind = static_cast<rt::MessageKind>(1 + i % 3);
+    auto const da = a.on_send(from, to, kind);
+    auto const db = b.on_send(from, to, kind);
+    EXPECT_EQ(static_cast<int>(da.action), static_cast<int>(db.action));
+    EXPECT_EQ(da.delay_polls, db.delay_polls);
+    auto const dc = c.on_send(from, to, kind);
+    if (dc.action != da.action || dc.delay_polls != da.delay_polls) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0) << "different seeds must give different streams";
+}
+
+TEST(FaultPlaneTest, DrainGatingIsAPureFunctionOfRankAndPoll) {
+  FaultPlane plane{FaultConfig::stragglers(), 8, 7};
+  for (RankId r = 0; r < 8; ++r) {
+    for (std::uint64_t poll = 1; poll <= 64; ++poll) {
+      auto const first = plane.on_drain(r, poll);
+      EXPECT_EQ(static_cast<int>(first),
+                static_cast<int>(plane.on_drain(r, poll)));
+    }
+  }
+}
+
+TEST(FaultPlaneTest, DormantRuntimeReportsNoFaultsAndNoFaultCounters) {
+  rt::Runtime rt{config(4)};
+  EXPECT_FALSE(rt.fault_active());
+  std::atomic<int> delivered{0};
+  rt.post(0, [&delivered](rt::RankContext& ctx) {
+    for (RankId r = 0; r < ctx.num_ranks(); ++r) {
+      ctx.send(r, 8, [&delivered](rt::RankContext&) { ++delivered; },
+               rt::MessageKind::gossip);
+    }
+  });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  EXPECT_EQ(delivered.load(), 4);
+  auto const stats = rt.stats();
+  for (std::size_t k = 0; k < rt::num_message_kinds; ++k) {
+    EXPECT_EQ(stats.kind_dropped[k], 0u);
+    EXPECT_EQ(stats.kind_delayed[k], 0u);
+    EXPECT_EQ(stats.kind_duplicated[k], 0u);
+    EXPECT_EQ(stats.kind_retried[k], 0u);
+  }
+}
+
+TEST(FaultPlaneTest, CertainDropSwallowsEveryMessageWithoutWedging) {
+  rt::Runtime rt{config(4)};
+  auto plane = install_fault_plane(
+      rt, single_kind(rt::MessageKind::gossip, 1.0, 0.0, 0.0));
+  ASSERT_TRUE(rt.fault_active());
+  std::atomic<int> delivered{0};
+  rt.post(0, [&delivered](rt::RankContext& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.send(1, 8, [&delivered](rt::RankContext&) { ++delivered; },
+               rt::MessageKind::gossip);
+    }
+  });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  EXPECT_EQ(delivered.load(), 0);
+  auto const stats = rt.stats();
+  EXPECT_EQ(
+      stats.kind_dropped[static_cast<std::size_t>(rt::MessageKind::gossip)],
+      10u);
+  rt.set_fault_hook(nullptr);
+}
+
+TEST(FaultPlaneTest, CertainDuplicateDeliversExactlyTwiceNoFission) {
+  rt::Runtime rt{config(4)};
+  auto plane = install_fault_plane(
+      rt, single_kind(rt::MessageKind::transfer, 0.0, 1.0, 0.0));
+  std::atomic<int> delivered{0};
+  rt.post(0, [&delivered](rt::RankContext& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.send(2, 8, [&delivered](rt::RankContext&) { ++delivered; },
+               rt::MessageKind::transfer);
+    }
+  });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  // Each send delivered exactly twice: the clone is fault-exempt, so a
+  // duplicate cannot fission into four, eight, ...
+  EXPECT_EQ(delivered.load(), 20);
+  auto const stats = rt.stats();
+  EXPECT_EQ(stats.kind_duplicated[static_cast<std::size_t>(
+                rt::MessageKind::transfer)],
+            10u);
+  rt.set_fault_hook(nullptr);
+}
+
+TEST(FaultPlaneTest, CertainDelayStillDeliversEverything) {
+  rt::Runtime rt{config(4)};
+  auto plane = install_fault_plane(
+      rt, single_kind(rt::MessageKind::migration, 0.0, 0.0, 1.0));
+  std::atomic<int> delivered{0};
+  rt.post(0, [&delivered](rt::RankContext& ctx) {
+    for (int i = 0; i < 25; ++i) {
+      ctx.send(3, 8, [&delivered](rt::RankContext&) { ++delivered; },
+               rt::MessageKind::migration);
+    }
+  });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  // A delay reorders but never loses: quiescence waits for parked work.
+  EXPECT_EQ(delivered.load(), 25);
+  auto const stats = rt.stats();
+  EXPECT_EQ(stats.kind_delayed[static_cast<std::size_t>(
+                rt::MessageKind::migration)],
+            25u);
+  rt.set_fault_hook(nullptr);
+}
+
+TEST(FaultPlaneTest, CrashedRankPurgesItsMailboxAndQuiescenceHolds) {
+  rt::Runtime rt{config(4)};
+  FaultConfig cfg;
+  cfg.crash_rank = 2;
+  cfg.crash_at_poll = 1; // dead from its first drain visit
+  auto plane = install_fault_plane(rt, cfg);
+  std::atomic<int> delivered{0};
+  rt.post(0, [&delivered](rt::RankContext& ctx) {
+    for (RankId r = 0; r < ctx.num_ranks(); ++r) {
+      ctx.send(r, 8, [&delivered](rt::RankContext&) { ++delivered; },
+               rt::MessageKind::gossip);
+    }
+  });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  EXPECT_TRUE(plane->crashed(2));
+  // Three survivors deliver; the crashed rank's message is purged (or
+  // refused at send once the crash flag is up), never processed.
+  EXPECT_EQ(delivered.load(), 3);
+  auto const stats = rt.stats();
+  EXPECT_GE(
+      stats.kind_dropped[static_cast<std::size_t>(rt::MessageKind::gossip)],
+      1u);
+  rt.set_fault_hook(nullptr);
+}
+
+TEST(FaultPlaneTest, StalledRanksStillReachQuiescence) {
+  rt::Runtime rt{config(8)};
+  auto plane = install_fault_plane(rt, FaultConfig::stragglers());
+  std::atomic<int> delivered{0};
+  rt.post_all([&delivered](rt::RankContext& ctx) {
+    RankId const next =
+        static_cast<RankId>((ctx.rank() + 1) % ctx.num_ranks());
+    ctx.send(next, 8, [&delivered](rt::RankContext&) { ++delivered; },
+             rt::MessageKind::gossip);
+  });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  EXPECT_EQ(delivered.load(), 8);
+  rt.set_fault_hook(nullptr);
+}
+
+TEST(FaultPlaneTest, QuiescenceBudgetFlushesAndReportsFailure) {
+  rt::Runtime rt{config(2)};
+  // A ping-pong that never terminates on its own; the poll budget must
+  // cut it off, flush, and report the round as failed.
+  struct Pong {
+    std::atomic<int> volleys{0};
+  };
+  auto pong = std::make_shared<Pong>();
+  std::function<void(rt::RankContext&)> volley =
+      [pong, &volley](rt::RankContext& ctx) {
+        ++pong->volleys;
+        RankId const next =
+            static_cast<RankId>((ctx.rank() + 1) % ctx.num_ranks());
+        ctx.send(next, 1, volley, rt::MessageKind::other);
+      };
+  rt.post(0, volley);
+  EXPECT_FALSE(rt.run_until_quiescent(/*max_polls=*/64));
+  EXPECT_GT(pong->volleys.load(), 0);
+  // The flush accounted the in-flight volley as dropped, so a subsequent
+  // round starts clean and quiesces.
+  std::atomic<int> delivered{0};
+  rt.post(1, [&delivered](rt::RankContext&) { ++delivered; });
+  EXPECT_TRUE(rt.run_until_quiescent());
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(FaultPlaneTest, InstallDerivesStreamsFromTheRuntimeRootSeed) {
+  rt::Runtime rt_a{config(4, 1, 111)};
+  rt::Runtime rt_b{config(4, 1, 111)};
+  rt::Runtime rt_c{config(4, 1, 222)};
+  auto plane_a = install_fault_plane(rt_a, FaultConfig::drops());
+  auto plane_b = install_fault_plane(rt_b, FaultConfig::drops());
+  auto plane_c = install_fault_plane(rt_c, FaultConfig::drops());
+  int diverged = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto const da = plane_a->on_send(0, 1, rt::MessageKind::gossip);
+    auto const db = plane_b->on_send(0, 1, rt::MessageKind::gossip);
+    auto const dc = plane_c->on_send(0, 1, rt::MessageKind::gossip);
+    EXPECT_EQ(static_cast<int>(da.action), static_cast<int>(db.action));
+    if (dc.action != da.action) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+  rt_a.set_fault_hook(nullptr);
+  rt_b.set_fault_hook(nullptr);
+  rt_c.set_fault_hook(nullptr);
+}
+
+} // namespace
+} // namespace tlb::fault

@@ -86,6 +86,52 @@ TEST(Mailbox, RandomPopDeterministicPerSeed) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Mailbox, DelayedMessagesHeldUntilDue) {
+  Mailbox box;
+  box.push_delayed(make(7), 5);
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.delayed_size(), 1u);
+  std::vector<Envelope> out;
+  EXPECT_EQ(box.pop_batch(out, 0), 0u) << "parked messages are not poppable";
+  EXPECT_EQ(box.release_due(4), 0u);
+  EXPECT_EQ(box.pop_batch(out, 0), 0u);
+  EXPECT_EQ(box.release_due(5), 1u);
+  EXPECT_EQ(box.delayed_size(), 0u);
+  ASSERT_EQ(box.pop_batch(out, 0), 1u);
+  EXPECT_EQ(out[0].bytes, 7u);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, ReleaseDueMovesOnlyRipeMessages) {
+  Mailbox box;
+  for (int i = 0; i < 6; ++i) {
+    box.push_delayed(make(i), static_cast<std::uint64_t>(i) * 2);
+  }
+  EXPECT_EQ(box.release_due(6), 4u); // due 0, 2, 4, 6
+  EXPECT_EQ(box.delayed_size(), 2u);
+  std::vector<Envelope> out;
+  EXPECT_EQ(box.pop_batch(out, 0), 4u);
+  EXPECT_EQ(box.release_due(100), 2u);
+  EXPECT_EQ(box.pop_batch(out, 0), 2u);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, DrainAllTakesQueuedAndDelayedAlike) {
+  Mailbox box;
+  box.push(make(0));
+  box.push(make(1));
+  box.push_delayed(make(2), 1000);
+  box.push_delayed(make(3), 2000);
+  box.push_delayed(make(4), 3000);
+  std::vector<Envelope> out;
+  std::size_t delayed_removed = 0;
+  EXPECT_EQ(box.drain_all(out, &delayed_removed), 5u);
+  EXPECT_EQ(delayed_removed, 3u);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.delayed_size(), 0u);
+}
+
 TEST(Mailbox, ConcurrentProducersAllArrive) {
   Mailbox box;
   constexpr int producers = 4;

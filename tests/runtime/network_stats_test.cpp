@@ -86,6 +86,79 @@ TEST(Runtime, TaggedSendsLandInTheirCategory) {
   EXPECT_GE(snap.max_mailbox_depth, 1u);
 }
 
+TEST(NetworkStats, FaultCountersArePerKindAndResettable) {
+  NetworkStats stats;
+  stats.record_drop(MessageKind::gossip);
+  stats.record_drop(MessageKind::gossip);
+  stats.record_delay(MessageKind::transfer);
+  stats.record_duplicate(MessageKind::migration);
+  stats.record_retry(MessageKind::migration);
+  stats.record_retry(MessageKind::transfer);
+
+  auto snap = stats.snapshot();
+  EXPECT_EQ(snap.kind_dropped[static_cast<std::size_t>(MessageKind::gossip)],
+            2u);
+  EXPECT_EQ(
+      snap.kind_delayed[static_cast<std::size_t>(MessageKind::transfer)],
+      1u);
+  EXPECT_EQ(snap.kind_duplicated[static_cast<std::size_t>(
+                MessageKind::migration)],
+            1u);
+  EXPECT_EQ(
+      snap.kind_retried[static_cast<std::size_t>(MessageKind::migration)],
+      1u);
+  EXPECT_EQ(
+      snap.kind_retried[static_cast<std::size_t>(MessageKind::transfer)],
+      1u);
+  EXPECT_EQ(snap.kind_dropped[static_cast<std::size_t>(MessageKind::other)],
+            0u);
+
+  stats.reset();
+  snap = stats.snapshot();
+  for (std::size_t k = 0; k < num_message_kinds; ++k) {
+    EXPECT_EQ(snap.kind_dropped[k], 0u);
+    EXPECT_EQ(snap.kind_delayed[k], 0u);
+    EXPECT_EQ(snap.kind_duplicated[k], 0u);
+    EXPECT_EQ(snap.kind_retried[k], 0u);
+  }
+}
+
+TEST(Runtime, PostDelayedDeliversAndCountsAsInFlight) {
+  RuntimeConfig config;
+  config.num_ranks = 2;
+  Runtime runtime{config};
+  int order = 0;
+  int delayed_order = -1;
+  int immediate_order = -1;
+  runtime.post_delayed(
+      1, [&](RankContext&) { delayed_order = order++; },
+      /*delay_polls=*/8);
+  runtime.post(1, [&](RankContext&) { immediate_order = order++; });
+  EXPECT_TRUE(runtime.run_until_quiescent());
+  // Quiescence waited for the parked handler, and the immediate message
+  // overtook it.
+  EXPECT_EQ(immediate_order, 0);
+  EXPECT_EQ(delayed_order, 1);
+}
+
+TEST(Runtime, PublishMetricsIncludesFaultCounters) {
+  RuntimeConfig config;
+  config.num_ranks = 2;
+  Runtime runtime{config};
+  runtime.record_retry(MessageKind::migration);
+  obs::Registry registry;
+  runtime.publish_metrics(registry);
+  bool saw_retried = false;
+  for (auto const& s : registry.snapshot()) {
+    if (s.name == "net.retried_by_category" && !s.labels.empty() &&
+        s.labels[0].value == "migration") {
+      saw_retried = true;
+      EXPECT_EQ(s.counter_value, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_retried);
+}
+
 TEST(Runtime, PublishMetricsFoldsIntoRegistry) {
   RuntimeConfig config;
   config.num_ranks = 2;
