@@ -7,6 +7,7 @@
 /// Usage: runtime_tour [--ranks=16] [--threads=1]
 
 #include <atomic>
+#include <functional>
 #include <iostream>
 
 #include "runtime/collectives.hpp"

@@ -42,6 +42,14 @@ struct Shared {
   std::size_t max_knowledge = 0; ///< 0 = unlimited (footnote-2 cap)
   bool use_nacks = false;
   LoadType l_ave = 0.0;
+  /// Transfer-pass threshold h (params.threshold), hoisted here so the
+  /// post_all closures read it through `shared` instead of capturing it.
+  double threshold = 0.0;
+  /// Full parameter block for run_transfer. Kept in the shared block for
+  /// the same reason: capturing LbParams by value (48 bytes) pushed the
+  /// transfer-pass closure past the envelope's inline capacity and onto
+  /// the heap-fallback path, one allocation per rank per iteration.
+  LbParams params;
   obs::LbReportBuilder* report = nullptr; ///< optional introspection sink
 };
 
@@ -271,6 +279,8 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
       static_cast<std::size_t>(std::max(0, params.max_knowledge));
   shared->use_nacks = params.use_nacks;
   shared->l_ave = l_ave;
+  shared->threshold = params.threshold;
+  shared->params = params;
   shared->report = introspection_;
   shared->states.resize(static_cast<std::size_t>(p));
 
@@ -326,14 +336,11 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
       // --- Transfer pass (Algorithm 2) on every overloaded rank; the
       // accepted proposals are *notification* messages: the task payload
       // does not move until the best state is committed. ---
-      double const threshold = params.threshold;
-      LbParams const local_params = params;
       if (!resilient) {
         TLB_SPAN_ARG("lb", "transfer", "iter", iter);
-        rt.post_all([shared, l_ave, threshold,
-                     local_params](rt::RankContext& ctx) {
+        rt.post_all([shared](rt::RankContext& ctx) {
           auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
-          if (st.load <= threshold * l_ave) {
+          if (st.load <= shared->threshold * shared->l_ave) {
             return;
           }
           std::vector<TaskEntry> entries;
@@ -342,8 +349,8 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
             entries.push_back({t.id, t.load});
           }
           auto const transfer =
-              run_transfer(local_params, ctx.rank(), entries, st.load, l_ave,
-                           st.knowledge, ctx.rng());
+              run_transfer(shared->params, ctx.rank(), entries, st.load,
+                           shared->l_ave, st.knowledge, ctx.rng());
           if (shared->report != nullptr) {
             shared->report->on_transfer_pass(transfer.accepted,
                                              transfer.rejected,
@@ -399,10 +406,9 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
         // tasks under arbitrary drop/duplicate/delay injection. ---
         TLB_SPAN_ARG("lb", "transfer", "iter", iter);
         auto rx = std::make_shared<ResilientXfer>(p);
-        rt.post_all([shared, rx, l_ave, threshold,
-                     local_params](rt::RankContext& ctx) {
+        rt.post_all([shared, rx](rt::RankContext& ctx) {
           auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
-          if (st.load <= threshold * l_ave) {
+          if (st.load <= shared->threshold * shared->l_ave) {
             return;
           }
           std::vector<TaskEntry> entries;
@@ -411,8 +417,8 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
             entries.push_back({t.id, t.load});
           }
           auto const transfer =
-              run_transfer(local_params, ctx.rank(), entries, st.load, l_ave,
-                           st.knowledge, ctx.rng());
+              run_transfer(shared->params, ctx.rank(), entries, st.load,
+                           shared->l_ave, st.knowledge, ctx.rng());
           if (shared->report != nullptr) {
             shared->report->on_transfer_pass(transfer.accepted,
                                              transfer.rejected,

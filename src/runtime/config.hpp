@@ -36,9 +36,16 @@ struct RuntimeConfig {
   /// Number of simulated ranks (logical processes).
   RankId num_ranks = 1;
   /// Worker threads driving the ranks. 1 selects the deterministic
-  /// sequential driver; >1 selects the parallel driver where each worker
-  /// owns a contiguous block of ranks and executes their handlers.
+  /// sequential driver; >1 selects the parallel driver, which splits the
+  /// rank space into shards that workers claim and steal (a shard runs on
+  /// exactly one worker at a time, so per-rank handler execution stays
+  /// single-threaded).
   int num_threads = 1;
+  /// Shards carved per worker for the work-stealing driver (clamped so a
+  /// shard never goes empty). More shards = finer-grained stealing at the
+  /// cost of more claim traffic; 4 keeps idle time low for the skewed
+  /// workloads the LB rounds produce without measurable claim overhead.
+  int shards_per_worker = 4;
   /// The single root seed of every stochastic component in a run. All
   /// randomized machinery derives its stream from it by splitmix splits:
   ///   - per-rank handler RNGs (gossip peer selection, CMF sampling,

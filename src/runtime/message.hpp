@@ -6,10 +6,15 @@
 /// live inside the closure (the in-process analogue of serialization); the
 /// `bytes` field models what serialization would have put on the wire so
 /// network statistics remain meaningful.
+///
+/// The handler is an InlineHandler: the closure lives inside the envelope
+/// itself (no per-message heap allocation on the hot paths), which makes
+/// the envelope move-only. Code that needs a real duplicate — the fault
+/// plane's duplicate fault, post_all's fanout — clones explicitly.
 
 #include <cstddef>
-#include <functional>
 
+#include "runtime/inline_handler.hpp"
 #include "runtime/network_stats.hpp"
 #include "support/types.hpp"
 
@@ -17,8 +22,9 @@ namespace tlb::rt {
 
 class RankContext;
 
-/// Handler executed on the destination rank's scheduler.
-using Handler = std::function<void(RankContext&)>;
+/// Handler executed on the destination rank's scheduler. Small-buffer
+/// optimized and move-only; see inline_handler.hpp.
+using Handler = InlineHandler;
 
 struct Envelope {
   RankId from = invalid_rank; ///< invalid_rank marks driver-injected work

@@ -59,6 +59,46 @@ struct NetworkStatsSnapshot {
   std::array<std::size_t, num_message_kinds> kind_retried{};
   /// Deepest any mailbox has been (post-push size) since the last reset.
   std::size_t max_mailbox_depth = 0;
+  /// Sender-side coalescing effectiveness: locked batch pushes performed
+  /// and the messages they carried. messages/flushes is the mean batch
+  /// size; flushes is (within epsilon) the lock acquisitions the send
+  /// plane cost, versus one per message before coalescing.
+  std::size_t coalesced_flushes = 0;
+  std::size_t coalesced_messages = 0;
+};
+
+/// Plain (non-atomic) counter block accumulated privately by one worker
+/// during a run and folded into the shared NetworkStats at run end. The
+/// totals are only read at quiescent points, so per-message accounting
+/// does not need to be globally visible mid-run — keeping it worker-local
+/// turns four-plus atomic RMWs per send into plain increments, one of the
+/// larger single wins in the message plane.
+struct LocalNetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t local_messages = 0;
+  std::array<std::uint64_t, num_message_kinds> kind_messages{};
+  std::array<std::uint64_t, num_message_kinds> kind_bytes{};
+  std::uint64_t max_mailbox_depth = 0;
+  std::uint64_t coalesced_flushes = 0;
+  std::uint64_t coalesced_messages = 0;
+
+  void record_send(bool local, std::size_t nbytes, MessageKind kind) {
+    ++messages;
+    bytes += nbytes;
+    local_messages += local ? 1 : 0;
+    auto const k = static_cast<std::size_t>(kind);
+    ++kind_messages[k];
+    kind_bytes[k] += nbytes;
+  }
+
+  void record_flush(std::size_t flushed, std::size_t depth) {
+    ++coalesced_flushes;
+    coalesced_messages += flushed;
+    if (depth > max_mailbox_depth) {
+      max_mailbox_depth = depth;
+    }
+  }
 };
 
 /// Thread-safe counters. Relaxed atomics: the totals are only read at
@@ -94,6 +134,26 @@ public:
         1, std::memory_order_relaxed);
   }
 
+  /// Fold a worker's run-private counters into the shared totals (called
+  /// once per worker per run, at a point where no handler is executing).
+  void fold(LocalNetworkStats const& local) {
+    messages_.fetch_add(local.messages, std::memory_order_relaxed);
+    bytes_.fetch_add(local.bytes, std::memory_order_relaxed);
+    local_messages_.fetch_add(local.local_messages,
+                              std::memory_order_relaxed);
+    for (std::size_t k = 0; k < num_message_kinds; ++k) {
+      kind_messages_[k].fetch_add(local.kind_messages[k],
+                                  std::memory_order_relaxed);
+      kind_bytes_[k].fetch_add(local.kind_bytes[k],
+                               std::memory_order_relaxed);
+    }
+    record_mailbox_depth(local.max_mailbox_depth);
+    coalesced_flushes_.fetch_add(local.coalesced_flushes,
+                                 std::memory_order_relaxed);
+    coalesced_messages_.fetch_add(local.coalesced_messages,
+                                  std::memory_order_relaxed);
+  }
+
   /// Record a mailbox's post-push depth (high-watermark gauge).
   void record_mailbox_depth(std::size_t depth) {
     std::size_t cur = max_mailbox_depth_.load(std::memory_order_relaxed);
@@ -115,6 +175,8 @@ public:
       kind_retried_[k].store(0, std::memory_order_relaxed);
     }
     max_mailbox_depth_.store(0, std::memory_order_relaxed);
+    coalesced_flushes_.store(0, std::memory_order_relaxed);
+    coalesced_messages_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] NetworkStatsSnapshot snapshot() const {
@@ -133,6 +195,10 @@ public:
     }
     snap.max_mailbox_depth =
         max_mailbox_depth_.load(std::memory_order_relaxed);
+    snap.coalesced_flushes =
+        coalesced_flushes_.load(std::memory_order_relaxed);
+    snap.coalesced_messages =
+        coalesced_messages_.load(std::memory_order_relaxed);
     return snap;
   }
 
@@ -147,6 +213,8 @@ private:
   std::array<std::atomic<std::size_t>, num_message_kinds> kind_duplicated_{};
   std::array<std::atomic<std::size_t>, num_message_kinds> kind_retried_{};
   std::atomic<std::size_t> max_mailbox_depth_{0};
+  std::atomic<std::size_t> coalesced_flushes_{0};
+  std::atomic<std::size_t> coalesced_messages_{0};
 };
 
 } // namespace tlb::rt

@@ -1,6 +1,7 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 
 #include "obs/registry.hpp"
@@ -14,8 +15,13 @@ RankId RankContext::num_ranks() const { return rt_->num_ranks(); }
 
 void RankContext::send(RankId to, std::size_t bytes, Handler handler,
                        MessageKind kind) {
-  rt_->stats_.record_send(to == rank_, bytes, kind);
-  rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler), kind});
+  if (coalescer_ != nullptr) {
+    coalescer_->stats_.record_send(to == rank_, bytes, kind);
+  } else {
+    rt_->stats_.record_send(to == rank_, bytes, kind);
+  }
+  rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler), kind},
+               coalescer_);
 }
 
 Rng& RankContext::rng() { return rt_->rank_rng(rank_); }
@@ -27,6 +33,7 @@ Runtime::Runtime(RuntimeConfig config)
   TLB_EXPECTS(config.num_ranks > 0);
   TLB_EXPECTS(config.num_threads >= 1);
   TLB_EXPECTS(config.batch > 0);
+  TLB_EXPECTS(config.shards_per_worker >= 1);
   Rng const root{config.seed};
   rank_rngs_.reserve(static_cast<std::size_t>(config.num_ranks));
   for (RankId r = 0; r < config.num_ranks; ++r) {
@@ -38,13 +45,38 @@ void Runtime::post(RankId to, Handler handler, std::size_t bytes,
                    MessageKind kind) {
   TLB_EXPECTS(to >= 0 && to < num_ranks());
   stats_.record_send(false, bytes, kind);
-  enqueue(Envelope{invalid_rank, to, bytes, std::move(handler), kind});
+  enqueue(Envelope{invalid_rank, to, bytes, std::move(handler), kind},
+          nullptr);
 }
 
 void Runtime::post_all(Handler const& handler) {
-  for (RankId r = 0; r < num_ranks(); ++r) {
-    post(r, handler);
+  if (fault_active()) {
+    // Keep per-message fault interposition on driver-injected fanout.
+    for (RankId r = 0; r < num_ranks(); ++r) {
+      post(r, handler.clone());
+    }
+    return;
   }
+  // Fault-free fast path: one bulk in-flight/audit update and one stats
+  // fold for the whole fanout instead of P rounds of hot atomics.
+  auto const p = static_cast<std::size_t>(num_ranks());
+  add_in_flight(static_cast<std::int64_t>(p));
+  TLB_AUDIT_BLOCK {
+    audit_enqueued_.fetch_add(p, std::memory_order_relaxed);
+  }
+  bool const consumer = config_.num_threads <= 1;
+  LocalNetworkStats local;
+  for (RankId r = 0; r < num_ranks(); ++r) {
+    local.record_send(false, 0, MessageKind::other);
+    auto& mailbox = mailboxes_[static_cast<std::size_t>(r)];
+    Envelope env{invalid_rank, r, 0, handler.clone(), MessageKind::other};
+    auto const depth = consumer ? mailbox.push_consumer(std::move(env))
+                                : mailbox.push(std::move(env));
+    if (depth > local.max_mailbox_depth) {
+      local.max_mailbox_depth = depth;
+    }
+  }
+  stats_.fold(local);
 }
 
 void Runtime::post_delayed(RankId to, Handler handler,
@@ -55,21 +87,21 @@ void Runtime::post_delayed(RankId to, Handler handler,
   Envelope env{invalid_rank, to, bytes, std::move(handler), kind,
                /*fault_exempt=*/true};
   if (delay_polls == 0) {
-    enqueue_direct(std::move(env));
+    enqueue_direct(std::move(env), nullptr);
     return;
   }
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  add_in_flight(1);
   TLB_AUDIT_BLOCK {
     audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
   }
-  auto const due =
-      polls_[static_cast<std::size_t>(to)].load(std::memory_order_relaxed) +
-      delay_polls;
+  auto const due = polls_[static_cast<std::size_t>(to)].value.load(
+                       std::memory_order_relaxed) +
+                   delay_polls;
   mailboxes_[static_cast<std::size_t>(to)].push_delayed(std::move(env), due);
   delayed_pending_.fetch_add(1, std::memory_order_release);
 }
 
-void Runtime::enqueue(Envelope env) {
+void Runtime::enqueue(Envelope env, SendCoalescer* coalescer) {
   TLB_EXPECTS(env.to >= 0 && env.to < num_ranks());
 #if TLB_FAULT_ENABLED
   if (fault_ != nullptr && !env.fault_exempt) {
@@ -85,20 +117,23 @@ void Runtime::enqueue(Envelope env) {
       stats_.record_duplicate(env.kind);
       TLB_INSTANT_ARG("fault", "duplicate", "kind",
                       static_cast<int>(env.kind));
-      Envelope clone = env; // Handler is a copyable closure
-      clone.fault_exempt = true;
-      enqueue_direct(std::move(clone));
+      Envelope clone{env.from, env.to, env.bytes, env.handler.clone(),
+                     env.kind, /*fault_exempt=*/true};
+      enqueue_direct(std::move(clone), coalescer);
       break; // the original still delivers below
     }
     case FaultAction::delay: {
+      // Delays park in the mailbox's delay queue directly: coalescing
+      // would defeat the fault's purpose (reordering relative to the
+      // sender's later messages).
       stats_.record_delay(env.kind);
       TLB_INSTANT_ARG("fault", "delay", "kind", static_cast<int>(env.kind));
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      add_in_flight(1);
       TLB_AUDIT_BLOCK {
         audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
       }
       auto const to = static_cast<std::size_t>(env.to);
-      auto const due = polls_[to].load(std::memory_order_relaxed) +
+      auto const due = polls_[to].value.load(std::memory_order_relaxed) +
                        std::max<std::uint32_t>(1, decision.delay_polls);
       mailboxes_[to].push_delayed(std::move(env), due);
       delayed_pending_.fetch_add(1, std::memory_order_release);
@@ -109,19 +144,72 @@ void Runtime::enqueue(Envelope env) {
     }
   }
 #endif
-  enqueue_direct(std::move(env));
+  enqueue_direct(std::move(env), coalescer);
 }
 
-void Runtime::enqueue_direct(Envelope env) {
-  // Increment strictly before the message becomes visible so in_flight==0
-  // can never be observed while work remains.
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+void Runtime::enqueue_direct(Envelope&& env, SendCoalescer* coalescer) {
+  if (coalescer != nullptr) {
+    // No atomics here at all: the message is counted in flight in bulk at
+    // flush time (flush_coalesced folds pending_ before the batch that
+    // produced these sends retires, so in_flight stays positive for as
+    // long as the envelope sits in a buffer or an unswept stash).
+    if (config_.num_threads <= 1) {
+      // Sequential driver: it is the single consumer of every mailbox, so
+      // the send can go straight into the destination's consumer stash —
+      // eager, lock-free, and with no per-destination staging pass. The
+      // delivery order is exactly eager-push order, bit-identical to the
+      // historical sequential schedule.
+      ++coalescer->pending_;
+      auto const depth = mailboxes_[static_cast<std::size_t>(env.to)]
+                             .push_consumer(std::move(env));
+      if (depth > coalescer->stats_.max_mailbox_depth) {
+        coalescer->stats_.max_mailbox_depth = depth;
+      }
+      return;
+    }
+    coalescer->append(std::move(env));
+    return;
+  }
+  // Direct path (driver posts): increment strictly before the message
+  // becomes visible so in_flight==0 can never be observed while work
+  // remains. Under the sequential driver the posting thread is also every
+  // mailbox's consumer, so the lock-free consumer push applies here too.
+  add_in_flight(1);
   TLB_AUDIT_BLOCK {
     audit_enqueued_.fetch_add(1, std::memory_order_relaxed);
   }
-  auto const depth =
-      mailboxes_[static_cast<std::size_t>(env.to)].push(std::move(env));
+  auto& mailbox = mailboxes_[static_cast<std::size_t>(env.to)];
+  auto const depth = config_.num_threads <= 1
+                         ? mailbox.push_consumer(std::move(env))
+                         : mailbox.push(std::move(env));
   stats_.record_mailbox_depth(depth);
+}
+
+void Runtime::flush_coalesced(SendCoalescer& coalescer) {
+  // Count every buffered message in flight before the first push: once an
+  // envelope is visible another worker may run and retire it, and the
+  // counter must never have missed it.
+  if (coalescer.pending_ > 0) {
+    add_in_flight(static_cast<std::int64_t>(coalescer.pending_));
+    TLB_AUDIT_BLOCK {
+      audit_enqueued_.fetch_add(coalescer.pending_,
+                                std::memory_order_relaxed);
+    }
+    coalescer.pending_ = 0;
+  }
+  // Bucketed envelopes exist only under the threaded driver (the
+  // sequential driver pushes eagerly into consumer stashes and only needs
+  // the bulk in-flight fold above).
+  for (std::size_t i = 0; i < coalescer.used_; ++i) {
+    auto& bucket = coalescer.buckets_[i];
+    auto const n = bucket.msgs.size();
+    auto const depth =
+        mailboxes_[static_cast<std::size_t>(bucket.dest)].push_batch(
+            bucket.msgs);
+    coalescer.stats_.record_flush(n, depth);
+    coalescer.slot_of_dest_[static_cast<std::size_t>(bucket.dest)] = 0;
+  }
+  coalescer.used_ = 0;
 }
 
 void Runtime::record_retry(MessageKind kind) {
@@ -153,8 +241,7 @@ void Runtime::purge_rank(RankId rank, std::vector<Envelope>& scratch) {
   TLB_AUDIT_BLOCK {
     audit_purged_.fetch_add(n, std::memory_order_relaxed);
   }
-  in_flight_.fetch_sub(static_cast<std::int64_t>(n),
-                       std::memory_order_acq_rel);
+  add_in_flight(-static_cast<std::int64_t>(n));
 }
 
 void Runtime::flush_all() {
@@ -164,11 +251,15 @@ void Runtime::flush_all() {
   }
 }
 
-std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
+std::size_t Runtime::drain_rank(RankId rank, WorkerState& worker,
                                 std::size_t batch) {
   auto const slot = static_cast<std::size_t>(rank);
+  // Single-writer counter (shard ownership serializes visits): a relaxed
+  // load/store pair, not an RMW — senders computing delay due-times only
+  // ever read it approximately.
   auto const poll =
-      polls_[slot].fetch_add(1, std::memory_order_relaxed) + 1;
+      polls_[slot].value.load(std::memory_order_relaxed) + 1;
+  polls_[slot].value.store(poll, std::memory_order_relaxed);
   auto& mailbox = mailboxes_[slot];
 #if TLB_FAULT_ENABLED
   if (fault_ != nullptr) {
@@ -178,32 +269,65 @@ std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
     case DrainGate::stalled:
       return 0; // transient: messages wait, quiescence keeps spinning
     case DrainGate::crashed:
-      purge_rank(rank, scratch);
+      purge_rank(rank, worker.scratch);
       return 0;
     }
   }
 #endif
-  if (delayed_pending_.load(std::memory_order_acquire) > 0) {
-    auto const released = mailbox.release_due(poll);
-    if (released > 0) {
-      delayed_pending_.fetch_sub(static_cast<std::int64_t>(released),
-                                 std::memory_order_relaxed);
+  // The whole visit — releasing due delayed messages and claiming the
+  // batch — is a single mailbox lock acquisition (zero when the consumer
+  // stash already holds a full batch and no delays are pending).
+  bool const need_release =
+      delayed_pending_.load(std::memory_order_acquire) > 0;
+  std::size_t released = 0;
+  std::size_t n = 0;
+  RankContext ctx{*this, rank, &worker.coalescer};
+  if (config_.random_delivery) {
+    worker.scratch.clear();
+    n = mailbox.pop_batch_random(worker.scratch, batch, rank_rng(rank),
+                                 poll, need_release, &released);
+  } else if (config_.num_threads <= 1) {
+    // Sequential in-place delivery: handlers consume straight out of the
+    // mailbox stash, skipping the stash→scratch staging copy (one full
+    // envelope move per message, the hottest store in the sequential
+    // profile). Delivery order is identical to the staged path — the
+    // batch is fixed before the first handler runs. The drain span is
+    // opened lazily so empty polls stay span-free.
+    std::optional<obs::SpanGuard> span;
+    n = mailbox.consume_batch(batch, poll, need_release, &released,
+                              [&](Envelope& env) {
+                                if (!span) {
+                                  span.emplace("rt", "drain");
+                                }
+                                env.handler.consume(ctx);
+                              });
+    if (span) {
+      span->set_arg("n", static_cast<double>(n));
     }
+  } else {
+    worker.scratch.clear();
+    n = mailbox.drain(worker.scratch, batch, poll, need_release, &released);
   }
-  scratch.clear();
-  auto const n =
-      config_.random_delivery
-          ? mailbox.pop_batch_random(scratch, batch, rank_rng(rank))
-          : mailbox.pop_batch(scratch, batch);
+  if (released > 0) {
+    delayed_pending_.fetch_sub(static_cast<std::int64_t>(released),
+                               std::memory_order_relaxed);
+  }
   if (n == 0) {
     return 0; // empty poll: keep the spin loop span-free
   }
-  {
+  if (!worker.scratch.empty()) {
     TLB_SPAN_ARG("rt", "drain", "n", n);
-    RankContext ctx{*this, rank};
-    for (Envelope& env : scratch) {
-      env.handler(ctx);
+    for (Envelope& env : worker.scratch) {
+      env.handler.consume(ctx); // invoke + destroy in one dispatch
     }
+  }
+  // Flush the batch's coalesced sends before retiring the batch from the
+  // in-flight counter: buffered messages were counted at append time, so
+  // flushing first keeps in_flight==0 unobservable while any envelope
+  // still sits in a worker-private buffer.
+  if (!worker.coalescer.empty()) {
+    TLB_SPAN("rt", "flush");
+    flush_coalesced(worker.coalescer);
   }
   // Decrement once, after every handler in the batch (and the sends they
   // performed, which have already incremented the counter) completes.
@@ -213,8 +337,7 @@ std::size_t Runtime::drain_rank(RankId rank, std::vector<Envelope>& scratch,
   TLB_AUDIT_BLOCK {
     audit_processed_.fetch_add(n, std::memory_order_relaxed);
   }
-  in_flight_.fetch_sub(static_cast<std::int64_t>(n),
-                       std::memory_order_acq_rel);
+  add_in_flight(-static_cast<std::int64_t>(n));
   return n;
 }
 
@@ -260,45 +383,62 @@ bool Runtime::run_until_quiescent(std::size_t max_polls) {
 
 void Runtime::run_sequential(std::size_t max_polls) {
   // Deterministic round-robin: visit ranks in order, draining a bounded
-  // batch from each, until the in-flight counter reaches zero.
-  std::vector<Envelope> scratch;
-  scratch.reserve(static_cast<std::size_t>(config_.batch));
+  // batch from each, until the in-flight counter reaches zero. Coalesced
+  // sends flush at the end of each visit — before any other rank runs —
+  // so the schedule is bit-identical to the historical eager-push driver.
   auto const batch = static_cast<std::size_t>(config_.batch);
+  WorkerState& worker = worker_state(0);
   std::size_t sweeps = 0;
   while (in_flight_.load(std::memory_order_acquire) > 0) {
     for (RankId r = 0; r < num_ranks(); ++r) {
-      drain_rank(r, scratch, batch);
+      drain_rank(r, worker, batch);
     }
     if (max_polls != 0 && ++sweeps >= max_polls &&
         in_flight_.load(std::memory_order_acquire) > 0) {
       abort_.store(true, std::memory_order_relaxed);
-      return;
+      break;
     }
   }
+  stats_.fold(worker.coalescer.stats_);
+  worker.coalescer.stats_ = LocalNetworkStats{};
 }
 
 void Runtime::run_threaded(std::size_t max_polls) {
   int const workers =
       std::min<int>(config_.num_threads, static_cast<int>(num_ranks()));
-  // Contiguous block ownership: a rank's handlers only ever execute on its
-  // owning worker, so per-rank protocol state needs no locking.
-  auto const ranks_per_worker =
-      (static_cast<std::size_t>(num_ranks()) +
-       static_cast<std::size_t>(workers) - 1) /
-      static_cast<std::size_t>(workers);
+  auto const ranks = static_cast<std::size_t>(num_ranks());
+  // Work stealing over rank shards: the rank space is cut into a few
+  // shards per worker (sizes differing by at most one, never empty — this
+  // also fixes the old ceil-division block split, which could hand the
+  // last worker an empty range when P wasn't divisible). Any worker may
+  // claim any unclaimed shard; the acquire exchange / release store pair
+  // on the claim flag orders consecutive processors of a rank, so a
+  // rank's handlers still execute single-threaded and per-rank protocol
+  // state needs no locking.
+  auto const nshards = std::min(
+      ranks, static_cast<std::size_t>(workers) *
+                 static_cast<std::size_t>(config_.shards_per_worker));
+  std::vector<Shard> shards(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    shards[s].lo = static_cast<RankId>(s * ranks / nshards);
+    shards[s].hi = static_cast<RankId>((s + 1) * ranks / nshards);
+  }
+
+  auto const batch = static_cast<std::size_t>(config_.batch);
+  // Touch every worker's state on the driver thread first so the lazily-
+  // grown vector never reallocates under a worker.
+  worker_state(static_cast<std::size_t>(workers) - 1);
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    auto const lo = static_cast<RankId>(
-        static_cast<std::size_t>(w) * ranks_per_worker);
-    auto const hi = std::min<RankId>(
-        num_ranks(), static_cast<RankId>(
-                         static_cast<std::size_t>(w + 1) * ranks_per_worker));
-    pool.emplace_back([this, lo, hi, max_polls] {
-      std::vector<Envelope> scratch;
-      auto const batch = static_cast<std::size_t>(config_.batch);
-      scratch.reserve(batch);
+    pool.emplace_back([this, w, workers, nshards, &shards, batch,
+                       max_polls] {
+      WorkerState& worker = worker_state(static_cast<std::size_t>(w));
+      // Stagger the sweep start so workers begin on disjoint shards and
+      // only collide (and steal) once load skews.
+      std::size_t const start =
+          static_cast<std::size_t>(w) * nshards / static_cast<std::size_t>(workers);
       int idle_spins = 0;
       std::size_t sweeps = 0;
       while (in_flight_.load(std::memory_order_acquire) > 0) {
@@ -306,8 +446,15 @@ void Runtime::run_threaded(std::size_t max_polls) {
           return; // another worker exhausted the budget
         }
         std::size_t processed = 0;
-        for (RankId r = lo; r < hi; ++r) {
-          processed += drain_rank(r, scratch, batch);
+        for (std::size_t i = 0; i < nshards; ++i) {
+          Shard& shard = shards[(start + i) % nshards];
+          if (shard.busy.exchange(true, std::memory_order_acquire)) {
+            continue; // another worker holds it; move on, don't wait
+          }
+          for (RankId r = shard.lo; r < shard.hi; ++r) {
+            processed += drain_rank(r, worker, batch);
+          }
+          shard.busy.store(false, std::memory_order_release);
         }
         if (max_polls != 0 && ++sweeps >= max_polls) {
           if (in_flight_.load(std::memory_order_acquire) > 0) {
@@ -317,7 +464,7 @@ void Runtime::run_threaded(std::size_t max_polls) {
         }
         if (processed == 0) {
           // Backoff: other workers' messages may still be in flight
-          // toward our ranks.
+          // toward the shards we can see.
           if (++idle_spins > 64) {
             std::this_thread::yield();
           }
@@ -330,6 +477,19 @@ void Runtime::run_threaded(std::size_t max_polls) {
   for (std::thread& t : pool) {
     t.join();
   }
+  for (int w = 0; w < workers; ++w) {
+    auto& state = worker_state(static_cast<std::size_t>(w));
+    stats_.fold(state.coalescer.stats_);
+    state.coalescer.stats_ = LocalNetworkStats{};
+  }
+}
+
+Runtime::WorkerState& Runtime::worker_state(std::size_t index) {
+  while (worker_states_.size() <= index) {
+    worker_states_.emplace_back(static_cast<std::size_t>(num_ranks()),
+                                static_cast<std::size_t>(config_.batch));
+  }
+  return worker_states_[index];
 }
 
 void Runtime::publish_metrics(obs::Registry& registry) const {
@@ -351,6 +511,8 @@ void Runtime::publish_metrics(obs::Registry& registry) const {
   }
   registry.gauge("net.max_mailbox_depth")
       .set(static_cast<std::int64_t>(s.max_mailbox_depth));
+  registry.counter("net.coalesced_flushes").set(s.coalesced_flushes);
+  registry.counter("net.coalesced_messages").set(s.coalesced_messages);
 }
 
 } // namespace tlb::rt

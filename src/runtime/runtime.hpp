@@ -3,17 +3,32 @@
 /// \file runtime.hpp
 /// The in-process AMT runtime: P simulated ranks exchanging active
 /// messages, driven either by a deterministic sequential scheduler or by a
-/// pool of worker threads (each owning a contiguous block of ranks, so any
-/// given rank's handlers always execute single-threaded).
+/// pool of worker threads. The threaded driver partitions the rank space
+/// into shards (a few per worker, sizes differing by at most one) that
+/// workers claim and steal: a shard is processed by exactly one worker at
+/// a time, so any given rank's handlers still execute single-threaded,
+/// but a hot shard no longer serializes a statically-assigned owner while
+/// the rest of the pool spins.
+///
+/// The send path is coalescing: while a worker executes a drain batch, its
+/// handlers' sends accumulate in per-destination buffers and flush into
+/// each destination mailbox as one locked batch push at the end of the
+/// visit. Per-sender FIFO order is preserved (a flush appends a sender's
+/// messages in send order, and the sequential driver flushes before any
+/// other rank runs, keeping its schedule bit-identical to eager pushes).
+/// In-flight accounting happens at buffering time, so quiescence can never
+/// observe zero while coalesced messages wait, and the fault plane still
+/// interposes on each envelope individually at send time.
 ///
 /// Quiescence ("termination detection" for a protocol stage) uses an
 /// in-flight message counter: incremented at send, decremented only after
-/// the handler — including all sends it performed — has returned. The
-/// counter reaching zero therefore implies no queued messages and no
-/// executing handler anywhere: exactly the guarantee a distributed
-/// termination detector provides, obtained here through shared memory. A
-/// faithful message-based Mattern four-counter detector is implemented in
-/// termination.hpp and validated against this ground truth in the tests.
+/// the handler — including all sends it performed, buffered or not — has
+/// been flushed and returned. The counter reaching zero therefore implies
+/// no queued messages and no executing handler anywhere: exactly the
+/// guarantee a distributed termination detector provides, obtained here
+/// through shared memory. A faithful message-based Mattern four-counter
+/// detector is implemented in termination.hpp and validated against this
+/// ground truth in the tests.
 
 #include <atomic>
 #include <cstdint>
@@ -36,17 +51,82 @@ namespace tlb::rt {
 
 class Runtime;
 
+/// Per-worker sender-side coalescing buffers: one envelope batch per
+/// destination rank, flushed by Runtime::flush_coalesced as a single
+/// locked push per dirty destination. Owned by each driver loop (one per
+/// worker thread); handlers reach it through their RankContext.
+///
+/// Buffering is what lets the per-message bookkeeping go batch-granular:
+/// appended messages are counted into the in-flight counter in one bulk
+/// add at flush time (safe because the batch whose handlers produced them
+/// has not been retired yet), and traffic statistics accumulate in a
+/// run-private LocalNetworkStats folded into the shared counters once per
+/// run. The hot send path is thereby free of atomics entirely.
+class SendCoalescer {
+public:
+  explicit SendCoalescer(std::size_t num_ranks)
+      : slot_of_dest_(num_ranks, 0) {}
+
+  /// True when nothing is buffered AND nothing awaits its bulk in-flight
+  /// fold (the sequential driver's eager sends bump pending_ without ever
+  /// staging a bucket).
+  [[nodiscard]] bool empty() const { return used_ == 0 && pending_ == 0; }
+
+private:
+  friend class Runtime;
+  friend class RankContext;
+
+  /// A per-destination batch. Buckets live in a dense, reused list — only
+  /// the first `used_` are active in the current flush interval — so their
+  /// capacities persist forever and the append path touches a working set
+  /// proportional to the destinations actually hit, not to P.
+  struct Bucket {
+    RankId dest = invalid_rank;
+    std::vector<Envelope> msgs;
+  };
+
+  void append(Envelope env) {
+    auto& slot = slot_of_dest_[static_cast<std::size_t>(env.to)];
+    if (slot == 0) {
+      if (used_ == buckets_.size()) {
+        buckets_.emplace_back();
+      }
+      buckets_[used_].dest = env.to;
+      slot = static_cast<std::uint32_t>(++used_);
+    }
+    buckets_[slot - 1].msgs.push_back(std::move(env));
+    ++pending_;
+  }
+
+  std::vector<Bucket> buckets_;
+  /// dest -> index into buckets_ plus one; 0 = no bucket this interval.
+  /// Four bytes per rank keeps this randomly-indexed table small enough
+  /// to stay cached under scatter traffic (a vector-per-dest layout puts
+  /// 24 randomly-touched header bytes per rank in the way instead).
+  std::vector<std::uint32_t> slot_of_dest_;
+  std::size_t used_ = 0;
+  /// Messages appended (and not yet counted in flight) since the last
+  /// flush.
+  std::size_t pending_ = 0;
+  /// Run-private traffic counters (folded by the runtime at run end).
+  LocalNetworkStats stats_;
+};
+
 /// Execution context passed to every handler: identifies the rank the
 /// handler runs on and provides its communication and RNG facilities.
 class RankContext {
 public:
-  RankContext(Runtime& runtime, RankId rank) : rt_{&runtime}, rank_{rank} {}
+  RankContext(Runtime& runtime, RankId rank,
+              SendCoalescer* coalescer = nullptr)
+      : rt_{&runtime}, rank_{rank}, coalescer_{coalescer} {}
 
   [[nodiscard]] RankId rank() const { return rank_; }
   [[nodiscard]] RankId num_ranks() const;
 
   /// Send an active message; `bytes` models the serialized payload size.
-  /// `kind` categorizes the traffic for per-category accounting.
+  /// `kind` categorizes the traffic for per-category accounting. When the
+  /// context carries a coalescer (every driver-run handler does), the
+  /// envelope is buffered and flushed with the rest of the visit's sends.
   void send(RankId to, std::size_t bytes, Handler handler,
             MessageKind kind = MessageKind::other);
 
@@ -58,6 +138,7 @@ public:
 private:
   Runtime* rt_;
   RankId rank_;
+  SendCoalescer* coalescer_;
 };
 
 class Runtime {
@@ -74,7 +155,8 @@ public:
   void post(RankId to, Handler handler, std::size_t bytes = 0,
             MessageKind kind = MessageKind::other);
 
-  /// Inject the same work onto every rank.
+  /// Inject the same work onto every rank (the handler is cloned per
+  /// rank, so it must wrap a copyable callable).
   void post_all(Handler const& handler);
 
   /// Inject work that stays parked until `to` has been drain-visited
@@ -105,8 +187,9 @@ public:
   void reset_stats() { stats_.reset(); }
 
   /// Fold the current network counters into a telemetry registry as
-  /// `net.*` metrics (per-category message/byte counters and the
-  /// max-mailbox-depth gauge). Call at quiescent points.
+  /// `net.*` metrics (per-category message/byte counters, coalescing
+  /// flush counters, and the max-mailbox-depth gauge). Call at quiescent
+  /// points.
   void publish_metrics(obs::Registry& registry) const;
 
   /// Deterministic per-rank RNG stream (derived from config seed).
@@ -137,7 +220,7 @@ public:
   /// Monotone drain-visit counter of `rank` (the fault plane's and delay
   /// queues' deterministic time base).
   [[nodiscard]] std::uint64_t rank_polls(RankId rank) const {
-    return polls_[static_cast<std::size_t>(rank)].load(
+    return polls_[static_cast<std::size_t>(rank)].value.load(
         std::memory_order_relaxed);
   }
 
@@ -163,10 +246,57 @@ public:
 private:
   friend class RankContext;
 
-  void enqueue(Envelope env);
-  /// The fault-oblivious tail of enqueue: counts the message in flight and
-  /// pushes it into the destination mailbox.
-  void enqueue_direct(Envelope env);
+  /// Per-rank drain-visit counter, padded to a cache line: each is
+  /// write-hot on its rank's current worker, and unpadded neighbours
+  /// false-share under the threaded driver.
+  struct alignas(64) PollCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Per-driver-loop scratch: the drain batch buffer plus the sender-side
+  /// coalescing buckets. One per worker thread (and one for the
+  /// sequential driver), allocated once per run.
+  struct WorkerState {
+    explicit WorkerState(std::size_t num_ranks, std::size_t batch)
+        : coalescer{num_ranks} {
+      scratch.reserve(batch);
+    }
+    std::vector<Envelope> scratch;
+    SendCoalescer coalescer;
+  };
+
+  /// A contiguous slice of the rank space plus its claim flag. Workers
+  /// claim shards with an acquire exchange and release them with a
+  /// release store, so consecutive processors of the same rank are
+  /// ordered (per-rank protocol state needs no further locking).
+  struct alignas(64) Shard {
+    RankId lo = 0;
+    RankId hi = 0;
+    std::atomic<bool> busy{false};
+  };
+
+  /// Adjust the in-flight counter. Under the sequential driver exactly one
+  /// thread ever touches it, so the update is a relaxed load/store pair
+  /// instead of a lock-prefixed RMW — the counter sits on the hottest
+  /// bookkeeping path in the system (every send and every drain visit).
+  void add_in_flight(std::int64_t delta) {
+    if (config_.num_threads <= 1) {
+      in_flight_.store(in_flight_.load(std::memory_order_relaxed) + delta,
+                       std::memory_order_relaxed);
+    } else {
+      in_flight_.fetch_add(delta, std::memory_order_acq_rel);
+    }
+  }
+
+  void enqueue(Envelope env, SendCoalescer* coalescer);
+  /// The fault-oblivious tail of enqueue: counts the message in flight,
+  /// then buffers it (coalescing path) or pushes it straight into the
+  /// destination mailbox. By reference so the envelope is only ever
+  /// move-constructed once, into its final slot.
+  void enqueue_direct(Envelope&& env, SendCoalescer* coalescer);
+  /// Push every buffered envelope into its destination mailbox, one
+  /// locked batch per dirty destination.
+  void flush_coalesced(SendCoalescer& coalescer);
   /// Drop a crashed rank's entire mailbox (queued + delayed), accounting
   /// every message as dropped so in-flight still reaches zero.
   void purge_rank(RankId rank, std::vector<Envelope>& scratch);
@@ -175,18 +305,28 @@ private:
   void flush_all();
   void run_sequential(std::size_t max_polls);
   void run_threaded(std::size_t max_polls);
-  /// Drain up to `batch` messages from one rank; returns count processed.
-  std::size_t drain_rank(RankId rank, std::vector<Envelope>& scratch,
-                         std::size_t batch);
+  /// Per-worker scratch, created on first use and persisted across runs so
+  /// bucket/stash/batch capacities amortize to zero steady-state
+  /// allocations (index 0 doubles as the sequential driver's state).
+  WorkerState& worker_state(std::size_t index);
+  /// One drain visit of `rank`: release due delayed messages and pop up
+  /// to `batch` envelopes under a single mailbox lock, run the handlers,
+  /// flush their coalesced sends, then retire the batch from the
+  /// in-flight counter. Returns the number of handlers run.
+  std::size_t drain_rank(RankId rank, WorkerState& worker, std::size_t batch);
 
   RuntimeConfig config_;
   std::vector<Mailbox> mailboxes_;
+  /// Lazily-created per-worker scratch (see worker_state()). Only touched
+  /// by the driver between runs and by each worker's own thread during
+  /// one.
+  std::vector<WorkerState> worker_states_;
   std::vector<Rng> rank_rngs_;
   NetworkStats stats_;
   FaultHook* fault_ = nullptr;
-  /// Per-rank drain-visit counters. Incremented only by the rank's owning
-  /// worker; read (relaxed) by senders computing delay due-times.
-  std::vector<std::atomic<std::uint64_t>> polls_;
+  /// Per-rank drain-visit counters. Incremented only by the rank's
+  /// current worker; read (relaxed) by senders computing delay due-times.
+  std::vector<PollCounter> polls_;
   /// Messages currently parked in delay queues; lets drain_rank skip the
   /// release scan entirely on the (overwhelmingly common) delay-free path.
   std::atomic<std::int64_t> delayed_pending_{0};

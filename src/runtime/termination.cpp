@@ -38,10 +38,14 @@ void TerminationDetector::send(RankContext& ctx, RankId to, std::size_t bytes,
                                Handler handler) {
   auto st = state_;
   ++st->counters[static_cast<std::size_t>(ctx.rank())].sent;
+  // The inner handler rides behind a shared_ptr so the wrapper stays
+  // copyable (clone()-able) even though Handler itself is move-only — the
+  // fault plane may duplicate counted messages.
   ctx.send(to, bytes,
-           [st, inner = std::move(handler)](RankContext& dest) {
+           [st, inner = std::make_shared<Handler>(std::move(handler))](
+               RankContext& dest) {
              ++st->counters[static_cast<std::size_t>(dest.rank())].received;
-             inner(dest);
+             (*inner)(dest);
            });
 }
 
@@ -51,9 +55,10 @@ void TerminationDetector::post(RankId to, Handler handler, std::size_t bytes) {
   // it to the destination's sent counter so sums still balance.
   ++st->counters[static_cast<std::size_t>(to)].sent;
   rt_->post(to,
-            [st, inner = std::move(handler)](RankContext& dest) {
+            [st, inner = std::make_shared<Handler>(std::move(handler))](
+                RankContext& dest) {
               ++st->counters[static_cast<std::size_t>(dest.rank())].received;
-              inner(dest);
+              (*inner)(dest);
             },
             bytes);
 }

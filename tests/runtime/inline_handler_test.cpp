@@ -1,0 +1,256 @@
+/// \file inline_handler_test.cpp
+/// The SBO callable under the message plane: inline storage for every
+/// protocol-sized closure, counted heap fallback for oversized ones,
+/// move-only ownership with explicit clone, and exact construction /
+/// destruction accounting across moves and consume().
+
+#include "runtime/inline_handler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+
+namespace tlb::rt {
+namespace {
+
+/// One runtime/context pair per test: handlers need a RankContext to run.
+struct Fixture {
+  Runtime rt{RuntimeConfig{}};
+  RankContext ctx{rt, 0};
+};
+
+/// Counts live instances through every copy/move/destroy so tests can
+/// assert the handler neither leaks nor double-destroys its closure.
+struct Tracked {
+  static int live;
+  static int destroyed;
+  Tracked() { ++live; }
+  Tracked(Tracked const&) { ++live; }
+  Tracked(Tracked&&) noexcept { ++live; }
+  ~Tracked() {
+    --live;
+    ++destroyed;
+  }
+  static void reset() {
+    live = 0;
+    destroyed = 0;
+  }
+};
+int Tracked::live = 0;
+int Tracked::destroyed = 0;
+
+TEST(InlineHandler, SmallClosureStaysInline) {
+  InlineHandler::reset_heap_fallback_count();
+  int hits = 0;
+  int* p = &hits;
+  InlineHandler h{[p](RankContext&) { ++*p; }};
+  EXPECT_FALSE(h.uses_heap());
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 0u);
+
+  Fixture f;
+  h(f.ctx);
+  h(f.ctx);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineHandler, ProtocolShapedCaptureStaysInline) {
+  // The canonical protocol closure: a shared_ptr to per-run state plus a
+  // few words of payload. This must never take the heap fallback — the
+  // whole point of the inline capacity choice.
+  InlineHandler::reset_heap_fallback_count();
+  auto state = std::make_shared<int>(0);
+  double const a = 1.5;
+  double const b = 2.5;
+  std::uint64_t const seq = 42;
+  InlineHandler h{[state, a, b, seq](RankContext&) {
+    *state += static_cast<int>(a + b) + static_cast<int>(seq);
+  }};
+  EXPECT_FALSE(h.uses_heap());
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 0u);
+
+  Fixture f;
+  h(f.ctx);
+  EXPECT_EQ(*state, 46);
+}
+
+TEST(InlineHandler, OversizedClosureFallsBackToHeapAndCounts) {
+  InlineHandler::reset_heap_fallback_count();
+  struct Big {
+    char bytes[InlineHandler::inline_capacity + 8] = {};
+  };
+  Big big;
+  big.bytes[0] = 7;
+  int out = 0;
+  int* p = &out;
+  InlineHandler h{[big, p](RankContext&) { *p = big.bytes[0]; }};
+  EXPECT_TRUE(h.uses_heap());
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 1u);
+
+  Fixture f;
+  h(f.ctx);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(InlineHandler, OverAlignedClosureFallsBackToHeap) {
+  // The inline buffer is only 8-aligned (max_align_t padding would cost
+  // every envelope 16 bytes); anything fussier goes to the heap.
+  InlineHandler::reset_heap_fallback_count();
+  struct alignas(32) Fussy {
+    double v = 3.0;
+  };
+  Fussy fussy;
+  double out = 0.0;
+  double* p = &out;
+  InlineHandler h{[fussy, p](RankContext&) { *p = fussy.v; }};
+  EXPECT_TRUE(h.uses_heap());
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 1u);
+
+  Fixture f;
+  h(f.ctx);
+  EXPECT_EQ(out, 3.0);
+}
+
+TEST(InlineHandler, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  int* p = &hits;
+  InlineHandler a{[p](RankContext&) { ++*p; }};
+  InlineHandler b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a)); // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+
+  Fixture f;
+  b(f.ctx);
+  EXPECT_EQ(hits, 1);
+
+  InlineHandler c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b)); // NOLINT(bugprone-use-after-move)
+  c(f.ctx);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineHandler, DestructionRunsExactlyOnceAcrossMoves) {
+  Tracked::reset();
+  {
+    InlineHandler a{[t = Tracked{}](RankContext&) { (void)t; }};
+    InlineHandler b{std::move(a)};
+    InlineHandler c;
+    c = std::move(b);
+    EXPECT_EQ(Tracked::live, 1);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineHandler, MoveAssignmentDestroysPreviousClosure) {
+  Tracked::reset();
+  InlineHandler a{[t = Tracked{}](RankContext&) { (void)t; }};
+  EXPECT_EQ(Tracked::live, 1);
+  int dummy = 0;
+  int* p = &dummy;
+  a = InlineHandler{[p](RankContext&) { ++*p; }};
+  EXPECT_EQ(Tracked::live, 0); // the tracked closure was released
+
+  Fixture f;
+  a(f.ctx);
+  EXPECT_EQ(dummy, 1);
+}
+
+TEST(InlineHandler, ConsumeInvokesAndDestroysInOneStep) {
+  Tracked::reset();
+  int hits = 0;
+  int* p = &hits;
+  InlineHandler h{[t = Tracked{}, p](RankContext&) {
+    (void)t;
+    ++*p;
+  }};
+  EXPECT_EQ(Tracked::live, 1);
+
+  Fixture f;
+  h.consume(f.ctx);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(Tracked::live, 0);
+  EXPECT_FALSE(static_cast<bool>(h)); // consumed handlers are empty
+}
+
+TEST(InlineHandler, HeapClosureDestructionAccounting) {
+  Tracked::reset();
+  struct Pad {
+    char bytes[InlineHandler::inline_capacity] = {};
+  };
+  {
+    InlineHandler h{[t = Tracked{}, pad = Pad{}](RankContext&) {
+      (void)t;
+      (void)pad;
+    }};
+    EXPECT_TRUE(h.uses_heap());
+    InlineHandler moved{std::move(h)};
+    EXPECT_EQ(Tracked::live, 1); // heap move relocates the pointer only
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineHandler, CloneDuplicatesInlineClosure) {
+  InlineHandler::reset_heap_fallback_count();
+  auto count = std::make_shared<int>(0);
+  InlineHandler a{[count](RankContext&) { ++*count; }};
+  InlineHandler b = a.clone();
+  EXPECT_TRUE(static_cast<bool>(a)); // clone leaves the source intact
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 0u);
+
+  Fixture f;
+  a(f.ctx);
+  b(f.ctx);
+  EXPECT_EQ(*count, 2);
+}
+
+TEST(InlineHandler, CloneOfHeapClosureCountsAnotherFallback) {
+  InlineHandler::reset_heap_fallback_count();
+  struct Pad {
+    char bytes[InlineHandler::inline_capacity] = {};
+  };
+  auto count = std::make_shared<int>(0);
+  InlineHandler a{[count, pad = Pad{}](RankContext&) {
+    (void)pad;
+    ++*count;
+  }};
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 1u);
+  InlineHandler b = a.clone();
+  EXPECT_TRUE(b.uses_heap());
+  EXPECT_EQ(InlineHandler::heap_fallback_count(), 2u);
+
+  Fixture f;
+  b(f.ctx);
+  EXPECT_EQ(*count, 1);
+}
+
+TEST(InlineHandler, MoveOnlyClosureWorksInline) {
+  auto owned = std::make_unique<int>(11);
+  int out = 0;
+  int* p = &out;
+  InlineHandler h{[owned = std::move(owned), p](RankContext&) {
+    *p = *owned;
+  }};
+  EXPECT_FALSE(h.uses_heap());
+  InlineHandler moved{std::move(h)};
+
+  Fixture f;
+  moved.consume(f.ctx);
+  EXPECT_EQ(out, 11);
+}
+
+TEST(InlineHandler, EmptyHandlerIsFalsy) {
+  InlineHandler h;
+  EXPECT_FALSE(static_cast<bool>(h));
+  InlineHandler n{nullptr};
+  EXPECT_FALSE(static_cast<bool>(n));
+  InlineHandler c = h.clone(); // cloning empty yields empty
+  EXPECT_FALSE(static_cast<bool>(c));
+}
+
+} // namespace
+} // namespace tlb::rt
