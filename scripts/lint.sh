@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
-# Static lint gate: run clang-tidy (config in .clang-tidy) over the library
-# sources against a compile_commands.json.
+# Static lint gate, two layers:
+#
+#   1. clang-tidy (config in .clang-tidy) over the library sources against
+#      a compile_commands.json. Degrades gracefully — skips with a notice —
+#      when clang-tidy is not installed (e.g. the gcc-only dev container);
+#      CI installs clang-tidy and enforces it.
+#   2. tlb_lint (tools/tlb_lint), the in-tree analyzer for project rules
+#      clang-tidy cannot express (determinism, locking discipline, SBO
+#      hygiene). It has no external dependency, so it ALWAYS runs — a
+#      missing clang-tidy never waives it.
 #
 # Usage:
 #   scripts/lint.sh [build-dir]
@@ -8,12 +16,17 @@
 # The build dir must have been configured by CMake (any options); the
 # top-level CMakeLists.txt always exports compile_commands.json. If the
 # build dir is missing, a lint-only tree is configured at build-lint/.
-# Degrades gracefully — exits 0 with a notice — when clang-tidy is not
-# installed (e.g. the gcc-only dev container), so the script is safe to
-# call unconditionally; CI installs clang-tidy and enforces the gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  BUILD_DIR=build-lint
+  echo "lint.sh: no configured build dir; configuring ${BUILD_DIR}/" >&2
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTLB_BUILD_BENCH=OFF -DTLB_BUILD_EXAMPLES=OFF >/dev/null
+fi
 
 TIDY="${CLANG_TIDY:-}"
 if [[ -z "${TIDY}" ]]; then
@@ -26,24 +39,19 @@ if [[ -z "${TIDY}" ]]; then
   done
 fi
 if [[ -z "${TIDY}" ]]; then
-  echo "lint.sh: clang-tidy not found; skipping lint gate (install" \
+  echo "lint.sh: clang-tidy not found; skipping tidy layer (install" \
        "clang-tidy or set CLANG_TIDY to enforce it)" >&2
-  exit 0
+else
+  # Library sources are the gate; tests/bench/examples are covered by
+  # -Wall -Wextra -Werror in CI instead (gtest/benchmark macros trip too
+  # many tidy checks to keep the signal clean).
+  mapfile -t sources < <(find src -name '*.cpp' | sort)
+  echo "lint.sh: ${TIDY} over ${#sources[@]} sources (db: ${BUILD_DIR})" >&2
+  "${TIDY}" -p "${BUILD_DIR}" --quiet "${sources[@]}"
+  echo "lint.sh: clang-tidy clean" >&2
 fi
 
-BUILD_DIR="${1:-build}"
-if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
-  BUILD_DIR=build-lint
-  echo "lint.sh: no compile_commands.json; configuring ${BUILD_DIR}/" >&2
-  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DTLB_BUILD_BENCH=OFF -DTLB_BUILD_EXAMPLES=OFF >/dev/null
-fi
-
-# Library sources are the gate; tests/bench/examples are covered by
-# -Wall -Wextra -Werror in CI instead (gtest/benchmark macros trip too
-# many tidy checks to keep the signal clean).
-mapfile -t sources < <(find src -name '*.cpp' | sort)
-
-echo "lint.sh: ${TIDY} over ${#sources[@]} sources (db: ${BUILD_DIR})" >&2
-"${TIDY}" -p "${BUILD_DIR}" --quiet "${sources[@]}"
-echo "lint.sh: clean" >&2
+echo "lint.sh: building tlb_lint" >&2
+cmake --build "${BUILD_DIR}" --target tlb_lint -- -j "$(nproc)" >/dev/null
+"${BUILD_DIR}/tools/tlb_lint/tlb_lint" --root . src
+echo "lint.sh: tlb_lint clean" >&2

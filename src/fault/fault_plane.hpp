@@ -15,7 +15,9 @@
 /// Thread-safety matches the runtime's execution model: stream r is only
 /// touched by rank r's handlers (or the driver stream by the driver
 /// thread), and the crash flag is an atomic published by the crashed
-/// rank's owning worker.
+/// rank's owning worker. Lock-free by design, so nothing here carries the
+/// capability annotations of support/thread_annotations.hpp; rank-stream
+/// confinement is exercised by the TSan-run chaos suite.
 
 #include <atomic>
 #include <cstdint>

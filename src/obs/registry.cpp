@@ -55,7 +55,7 @@ Registry::Entry& Registry::find_or_create(std::string_view name,
                                           Labels&& labels, MetricKind kind,
                                           std::vector<double>&& bounds) {
   canonicalize(labels);
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   for (auto const& entry : entries_) {
     if (same_identity(name, labels, entry->name, entry->labels)) {
       TLB_EXPECTS(entry->kind == kind);
@@ -100,7 +100,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 std::vector<MetricSample> Registry::snapshot() const {
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (auto const& entry : entries_) {
@@ -133,12 +133,12 @@ std::vector<MetricSample> Registry::snapshot() const {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   return entries_.size();
 }
 
 void Registry::clear() {
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   entries_.clear();
 }
 

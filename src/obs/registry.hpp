@@ -17,12 +17,13 @@
 
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metric.hpp"
+#include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tlb::obs {
 
@@ -71,7 +72,8 @@ public:
   /// Point-in-time copy of every registered metric, in registration
   /// order. Call at quiescent points; concurrent updates are not torn
   /// (each field is an atomic) but may be mid-flight.
-  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+  [[nodiscard]] std::vector<MetricSample> snapshot() const
+      TLB_EXCLUDES(mutex_);
 
   /// Export the snapshot as a JSON document:
   ///   {"metrics": [{"name": ..., "labels": {...}, "kind": ...,
@@ -82,11 +84,11 @@ public:
   /// names become underscores (`net.messages` -> `net_messages`).
   void write_prometheus(std::ostream& os) const;
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const TLB_EXCLUDES(mutex_);
 
   /// Drop every registered metric (tests and between-run resets; any
   /// previously returned references are invalidated).
-  void clear();
+  void clear() TLB_EXCLUDES(mutex_);
 
 private:
   struct Entry {
@@ -102,10 +104,14 @@ private:
   /// threads racing to register the same identity both get the one
   /// instance (`bounds` is consumed only for a new histogram entry).
   Entry& find_or_create(std::string_view name, Labels&& labels,
-                        MetricKind kind, std::vector<double>&& bounds = {});
+                        MetricKind kind, std::vector<double>&& bounds = {})
+      TLB_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_; ///< registration order
+  /// Guards registration and snapshotting; the returned metric objects
+  /// themselves are lock-free atomics and are never guarded.
+  mutable SpinLock mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_
+      TLB_GUARDED_BY(mutex_); ///< registration order
 };
 
 /// The process-wide default registry (what the runtime fold-in and the

@@ -35,7 +35,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   if (cached == nullptr) {
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->events.reserve(1024);
-    std::lock_guard lock{mutex_};
+    SpinLockGuard lock{mutex_};
     buffer->tid = static_cast<std::uint32_t>(buffers_.size());
     buffers_.push_back(std::move(buffer));
     cached = buffers_.back().get();
@@ -45,7 +45,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 
 void Tracer::record(TraceEvent const& event) {
   ThreadBuffer& buffer = local_buffer();
-  std::lock_guard lock{buffer.mutex};
+  SpinLockGuard lock{buffer.mutex};
   if (buffer.events.size() >= max_events_per_thread) {
     ++buffer.dropped;
     return;
@@ -54,29 +54,29 @@ void Tracer::record(TraceEvent const& event) {
 }
 
 void Tracer::clear() {
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   for (auto const& buffer : buffers_) {
-    std::lock_guard buffer_lock{buffer->mutex};
+    SpinLockGuard buffer_lock{buffer->mutex};
     buffer->events.clear();
     buffer->dropped = 0;
   }
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   std::size_t n = 0;
   for (auto const& buffer : buffers_) {
-    std::lock_guard buffer_lock{buffer->mutex};
+    SpinLockGuard buffer_lock{buffer->mutex};
     n += buffer->events.size();
   }
   return n;
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   std::uint64_t n = 0;
   for (auto const& buffer : buffers_) {
-    std::lock_guard buffer_lock{buffer->mutex};
+    SpinLockGuard buffer_lock{buffer->mutex};
     n += buffer->dropped;
   }
   return n;
@@ -99,10 +99,10 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   w.end_object();
   w.end_object();
 
-  std::lock_guard lock{mutex_};
+  SpinLockGuard lock{mutex_};
   std::uint64_t total_dropped = 0;
   for (auto const& buffer : buffers_) {
-    std::lock_guard buffer_lock{buffer->mutex};
+    SpinLockGuard buffer_lock{buffer->mutex};
     total_dropped += buffer->dropped;
     for (TraceEvent const& e : buffer->events) {
       w.begin_object();

@@ -27,10 +27,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tlb::obs {
 
@@ -57,36 +58,38 @@ public:
   /// Microseconds since the tracer epoch (steady clock).
   [[nodiscard]] std::int64_t now_us() const;
 
-  void record(TraceEvent const& event);
+  void record(TraceEvent const& event) TLB_EXCLUDES(mutex_);
 
   /// Write everything recorded so far as a Chrome trace JSON document
   /// (non-destructive). Call at quiescent points: concurrent recording
   /// into a buffer being drained serializes on that buffer's mutex, but
   /// the resulting document then reflects a mid-flight cut.
-  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os) const TLB_EXCLUDES(mutex_);
 
   /// Drop all recorded events (dropped-counts included).
-  void clear();
+  void clear() TLB_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t event_count() const TLB_EXCLUDES(mutex_);
   /// Events lost to ring-buffer overflow since the last clear().
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t dropped() const TLB_EXCLUDES(mutex_);
 
   /// Ring capacity per thread (events). Exposed for tests.
   static constexpr std::size_t max_events_per_thread = 1u << 16;
 
 private:
   struct ThreadBuffer {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
-    std::uint64_t dropped = 0;
+    SpinLock mutex;
+    std::vector<TraceEvent> events TLB_GUARDED_BY(mutex);
+    std::uint64_t dropped TLB_GUARDED_BY(mutex) = 0;
+    /// Written once before the buffer is published into buffers_ (under
+    /// the tracer mutex_), immutable afterwards — no guard needed.
     std::uint32_t tid = 0;
   };
 
-  [[nodiscard]] ThreadBuffer& local_buffer();
+  [[nodiscard]] ThreadBuffer& local_buffer() TLB_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_; ///< guards buffers_ (registration + drain)
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable SpinLock mutex_; ///< guards buffers_ (registration + drain)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ TLB_GUARDED_BY(mutex_);
   std::int64_t epoch_ns_ = 0;
 };
 

@@ -59,6 +59,23 @@ public:
                 !std::is_same_v<D, std::nullptr_t> &&
                 std::is_invocable_v<D&, RankContext&>>>
   /*implicit*/ InlineHandler(F&& fn) {
+#if TLB_STRICT_SBO_ENABLED
+    // Strict-SBO mode (-DTLB_STRICT_SBO=ON): the heap fallback below is
+    // forbidden at compile time, turning the protocol suites' "zero heap
+    // fallbacks" runtime assertion into a build-breaking guarantee. A
+    // closure tripping this has outgrown the envelope: hoist fat captures
+    // into a shared_ptr'd per-run block (see Shared in gossip_strategy.cpp)
+    // instead of raising inline_capacity.
+    static_assert(sizeof(D) <= inline_capacity,
+                  "TLB_STRICT_SBO: closure exceeds InlineHandler's inline "
+                  "buffer and would heap-allocate per message");
+    static_assert(alignof(D) <= 8,
+                  "TLB_STRICT_SBO: over-aligned closure would take the "
+                  "heap fallback");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "TLB_STRICT_SBO: throwing-move closure would take the "
+                  "heap fallback");
+#endif
     if constexpr (fits_inline<D>) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
       ops_ = &kInlineOps<D>;

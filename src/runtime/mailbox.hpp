@@ -50,8 +50,8 @@ public:
   /// Takes an rvalue reference (as do the other push entry points) so the
   /// envelope is move-constructed exactly once, into the queue slot —
   /// by-value plumbing would cost one relocate dispatch per call frame.
-  std::size_t push(Envelope&& env) {
-    std::lock_guard lock{lock_};
+  std::size_t push(Envelope&& env) TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     queue_.push_back(std::move(env));
     queue_size_.store(queue_.size(), std::memory_order_release);
     return queue_.size() + stash_size_.load(std::memory_order_relaxed);
@@ -60,10 +60,10 @@ public:
   /// Coalesced push: append a whole per-destination batch under one lock
   /// (the sender-side flush path). The batch is consumed (left empty, with
   /// its capacity intact for reuse). Returns the post-push depth.
-  std::size_t push_batch(std::vector<Envelope>& batch) {
+  std::size_t push_batch(std::vector<Envelope>& batch) TLB_EXCLUDES(lock_) {
     std::size_t depth;
     {
-      std::lock_guard lock{lock_};
+      SpinLockGuard lock{lock_};
       queue_.insert(queue_.end(), std::make_move_iterator(batch.begin()),
                     std::make_move_iterator(batch.end()));
       queue_size_.store(queue_.size(), std::memory_order_release);
@@ -82,9 +82,9 @@ public:
   /// (older by definition: driver posts or released delayed messages) into
   /// the stash first, which also keeps the stash-older-than-queue
   /// invariant the drain paths rely on. Returns the post-push depth.
-  std::size_t push_consumer(Envelope&& env) {
+  std::size_t push_consumer(Envelope&& env) TLB_EXCLUDES(lock_) {
     if (queue_size_.load(std::memory_order_acquire) > 0) {
-      std::lock_guard lock{lock_};
+      SpinLockGuard lock{lock_};
       stash_.insert(stash_.end(), std::make_move_iterator(queue_.begin()),
                     std::make_move_iterator(queue_.end()));
       queue_.clear();
@@ -98,7 +98,8 @@ public:
 
   /// Pop up to `max_items` messages in FIFO order into `out` (appended).
   /// Returns the number popped. max_items == 0 means drain everything.
-  std::size_t pop_batch(std::vector<Envelope>& out, std::size_t max_items) {
+  std::size_t pop_batch(std::vector<Envelope>& out, std::size_t max_items)
+      TLB_EXCLUDES(lock_) {
     return drain(out, max_items, /*release_now=*/0, /*do_release=*/false,
                  nullptr);
   }
@@ -110,7 +111,7 @@ public:
   /// receives the number of delayed messages moved into the FIFO.
   std::size_t drain(std::vector<Envelope>& out, std::size_t max_items,
                     std::uint64_t release_now, bool do_release,
-                    std::size_t* released) {
+                    std::size_t* released) TLB_EXCLUDES(lock_) {
     auto const limit = max_items == 0
                            ? std::numeric_limits<std::size_t>::max()
                            : max_items;
@@ -124,7 +125,7 @@ public:
         (taken < limit &&
          queue_size_.load(std::memory_order_acquire) > 0)) {
       {
-        std::lock_guard lock{lock_};
+        SpinLockGuard lock{lock_};
         if (do_release) {
           auto const n = release_locked(release_now);
           if (released != nullptr) {
@@ -164,12 +165,13 @@ public:
   /// claim misses is caught on the next visit, same as drain().
   template <typename Fn>
   std::size_t consume_batch(std::size_t max_items, std::uint64_t release_now,
-                            bool do_release, std::size_t* released, Fn&& fn) {
+                            bool do_release, std::size_t* released, Fn&& fn)
+      TLB_EXCLUDES(lock_) {
     auto const limit = max_items == 0
                            ? std::numeric_limits<std::size_t>::max()
                            : max_items;
     if (do_release || queue_size_.load(std::memory_order_acquire) > 0) {
-      std::lock_guard lock{lock_};
+      SpinLockGuard lock{lock_};
       if (do_release) {
         auto const n = release_locked(release_now);
         if (released != nullptr) {
@@ -226,8 +228,9 @@ public:
                                std::size_t max_items, Rng& rng,
                                std::uint64_t release_now = 0,
                                bool do_release = false,
-                               std::size_t* released = nullptr) {
-    std::lock_guard lock{lock_};
+                               std::size_t* released = nullptr)
+      TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     if (do_release) {
       auto const n = release_locked(release_now);
       if (released != nullptr) {
@@ -264,15 +267,15 @@ public:
   }
 
   /// Park a message until the rank's drain-visit counter reaches `due`.
-  void push_delayed(Envelope&& env, std::uint64_t due) {
-    std::lock_guard lock{lock_};
+  void push_delayed(Envelope&& env, std::uint64_t due) TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     delayed_.push_back(Delayed{std::move(env), due});
   }
 
   /// Move every delayed message with due <= now into the FIFO (appended in
   /// parking order). Returns the number released.
-  std::size_t release_due(std::uint64_t now) {
-    std::lock_guard lock{lock_};
+  std::size_t release_due(std::uint64_t now) TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     auto const n = release_locked(now);
     queue_size_.store(queue_.size(), std::memory_order_relaxed);
     return n;
@@ -284,7 +287,8 @@ public:
   /// Returns the total removed; `delayed_removed`, when non-null, receives
   /// how many of them came from the delay queue.
   std::size_t drain_all(std::vector<Envelope>& out,
-                        std::size_t* delayed_removed = nullptr) {
+                        std::size_t* delayed_removed = nullptr)
+      TLB_EXCLUDES(lock_) {
     std::size_t n = stash_.size() - stash_pos_;
     out.reserve(out.size() + n);
     for (; stash_pos_ < stash_.size(); ++stash_pos_) {
@@ -293,7 +297,7 @@ public:
     stash_.clear();
     stash_pos_ = 0;
     stash_size_.store(0, std::memory_order_relaxed);
-    std::lock_guard lock{lock_};
+    SpinLockGuard lock{lock_};
     n += queue_.size() + delayed_.size();
     out.reserve(out.size() + queue_.size() + delayed_.size());
     for (Envelope& env : queue_) {
@@ -311,20 +315,20 @@ public:
     return n;
   }
 
-  [[nodiscard]] bool empty() const {
-    std::lock_guard lock{lock_};
+  [[nodiscard]] bool empty() const TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     return queue_.empty() && delayed_.empty() &&
            stash_size_.load(std::memory_order_relaxed) == 0;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock{lock_};
+  [[nodiscard]] std::size_t size() const TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     return queue_.size() + delayed_.size() +
            stash_size_.load(std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::size_t delayed_size() const {
-    std::lock_guard lock{lock_};
+  [[nodiscard]] std::size_t delayed_size() const TLB_EXCLUDES(lock_) {
+    SpinLockGuard lock{lock_};
     return delayed_.size();
   }
 
@@ -334,8 +338,8 @@ private:
     std::uint64_t due = 0;
   };
 
-  /// Precondition: mutex_ held.
-  std::size_t release_locked(std::uint64_t now) {
+  /// Moves due delayed messages into the FIFO; lock_ must be held.
+  std::size_t release_locked(std::uint64_t now) TLB_REQUIRES(lock_) {
     std::size_t released = 0;
     for (std::size_t i = 0; i < delayed_.size();) {
       if (delayed_[i].due <= now) {
@@ -372,8 +376,8 @@ private:
   }
 
   mutable SpinLock lock_;
-  std::vector<Envelope> queue_;  ///< producers, guarded by lock_
-  std::vector<Delayed> delayed_; ///< guarded by lock_
+  std::vector<Envelope> queue_ TLB_GUARDED_BY(lock_);  ///< producers
+  std::vector<Delayed> delayed_ TLB_GUARDED_BY(lock_);
   /// Mirror of queue_.size(), maintained under lock_ but readable without
   /// it: lets the consumer's drain skip the lock entirely when no producer
   /// push is pending (the common case once the stash is primed).

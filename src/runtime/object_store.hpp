@@ -35,7 +35,11 @@ public:
 ///
 /// Thread-safety: creation and the migration protocol are driver-level
 /// operations executed between phases; handlers running concurrently
-/// during a phase may only touch tasks local to their own rank.
+/// during a phase may only touch tasks local to their own rank. No lock
+/// guards the store, so there is no capability to annotate
+/// (support/thread_annotations.hpp) — the phase-discipline argument is
+/// exercised by the TSan stress gate and the migration conservation
+/// audits instead.
 class ObjectStore {
 public:
   explicit ObjectStore(RankId num_ranks);

@@ -62,6 +62,13 @@ class Runtime;
 /// has not been retired yet), and traffic statistics accumulate in a
 /// run-private LocalNetworkStats folded into the shared counters once per
 /// run. The hot send path is thereby free of atomics entirely.
+///
+/// Deliberately outside the thread-safety annotation discipline
+/// (support/thread_annotations.hpp): the coalescer is thread-confined by
+/// construction — no lock guards it, so there is no capability to name.
+/// Its safety argument (one instance per driver loop) is exercised by the
+/// TSan stress gate; the cross-thread handoff happens inside the
+/// annotated Mailbox::push_batch.
 class SendCoalescer {
 public:
   explicit SendCoalescer(std::size_t num_ranks)

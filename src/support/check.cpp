@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace tlb::audit {
 
@@ -10,8 +12,8 @@ namespace {
 
 std::atomic<Mode> g_mode{Mode::abort_process};
 std::atomic<std::size_t> g_violations{0};
-std::mutex g_last_mutex;
-std::string g_last; // guarded by g_last_mutex
+SpinLock g_last_mutex;
+std::string g_last TLB_GUARDED_BY(g_last_mutex);
 
 bool env_enabled() {
   // Read once: toggling mid-run would make audit coverage nondeterministic.
@@ -38,20 +40,20 @@ std::size_t violation_count() {
 }
 
 void reset_violations() {
-  std::lock_guard lock{g_last_mutex};
+  SpinLockGuard lock{g_last_mutex};
   g_last.clear();
   g_violations.store(0, std::memory_order_release);
 }
 
 std::string last_violation() {
-  std::lock_guard lock{g_last_mutex};
+  SpinLockGuard lock{g_last_mutex};
   return g_last;
 }
 
 void report(char const* expr, char const* what, char const* file, int line) {
   if (mode() == Mode::count) {
     {
-      std::lock_guard lock{g_last_mutex};
+      SpinLockGuard lock{g_last_mutex};
       g_last = std::string{what} + ": (" + expr + ")";
     }
     g_violations.fetch_add(1, std::memory_order_acq_rel);

@@ -12,16 +12,21 @@
 /// holder.
 ///
 /// Built on std::atomic acquire/release, so ThreadSanitizer models it
-/// precisely (no annotations needed).
+/// precisely (no annotations needed for TSan). For the *static* race gate
+/// the class is a Clang thread-safety capability: guard data with
+/// TLB_GUARDED_BY(lock_) and enter critical sections through SpinLockGuard
+/// so -Werror=thread-safety can prove the discipline at compile time.
 
 #include <atomic>
 #include <thread>
 
+#include "support/thread_annotations.hpp"
+
 namespace tlb {
 
-class SpinLock {
+class TLB_CAPABILITY("mutex") SpinLock {
 public:
-  void lock() noexcept {
+  void lock() noexcept TLB_ACQUIRE() {
     int spins = 0;
     while (flag_.exchange(true, std::memory_order_acquire)) {
       // Test-and-test-and-set: spin on a plain load so waiting cores don't
@@ -35,14 +40,36 @@ public:
     }
   }
 
-  [[nodiscard]] bool try_lock() noexcept {
+  [[nodiscard]] bool try_lock() noexcept TLB_TRY_ACQUIRE(true) {
     return !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept TLB_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
 private:
   std::atomic<bool> flag_{false};
+};
+
+/// RAII critical section over a SpinLock. This is the project's sanctioned
+/// guard: unlike std::lock_guard it is a scoped capability, so Clang's
+/// thread-safety analysis sees the acquire/release and can check every
+/// TLB_GUARDED_BY access inside the scope (tlb_lint's `no-raw-mutex` rule
+/// rejects the std:: guards that would blind the analysis).
+class TLB_SCOPED_CAPABILITY SpinLockGuard {
+public:
+  explicit SpinLockGuard(SpinLock& lock) TLB_ACQUIRE(lock) : lock_{lock} {
+    lock_.lock();
+  }
+
+  SpinLockGuard(SpinLockGuard const&) = delete;
+  SpinLockGuard& operator=(SpinLockGuard const&) = delete;
+
+  ~SpinLockGuard() TLB_RELEASE() { lock_.unlock(); }
+
+private:
+  SpinLock& lock_;
 };
 
 } // namespace tlb

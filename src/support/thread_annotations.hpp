@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// Clang Thread Safety Analysis attribute macros (no-ops on other
+/// compilers). Applying them turns the project's lock discipline into a
+/// compile-time contract: a capability (a lock), the data it guards, and
+/// the functions that require or acquire it are declared in the types, and
+/// `-Werror=thread-safety` (CMake option TLB_THREAD_SAFETY, driven by
+/// scripts/race_gate.sh) rejects any access pattern that violates the
+/// declarations — including paths no test or TSan schedule ever executes.
+///
+/// Conventions in this tree:
+///   - tlb::SpinLock is the annotated capability type; critical sections
+///     are expressed with tlb::SpinLockGuard (a scoped capability), never
+///     std::lock_guard, which the analysis cannot see through (tlb_lint
+///     rule `no-raw-mutex` enforces this mechanically).
+///   - Data owned by a lock carries TLB_GUARDED_BY(lock_); private helpers
+///     that assume the lock is held carry TLB_REQUIRES(lock_).
+///   - Thread-confined state (e.g. a mailbox's consumer-only stash) cannot
+///     be expressed as a lock capability; such members stay unannotated
+///     with an ownership comment, and their discipline is covered by the
+///     TSan gate instead.
+///
+/// The macro set mirrors the attribute list documented at
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html (the same shape
+/// abseil's thread_annotations.h uses), so the names translate directly.
+
+#if defined(__clang__) && !defined(SWIG)
+#define TLB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TLB_THREAD_ANNOTATION(x) // no-op: GCC/MSVC parse nothing here
+#endif
+
+/// Marks a class as a capability (lock). The string is the capability kind
+/// used in diagnostics, e.g. TLB_CAPABILITY("mutex").
+#define TLB_CAPABILITY(x) TLB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define TLB_SCOPED_CAPABILITY TLB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that the data member is protected by the given capability.
+#define TLB_GUARDED_BY(x) TLB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer) is protected.
+#define TLB_PT_GUARDED_BY(x) TLB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held on entry
+/// (and are still held on exit).
+#define TLB_REQUIRES(...)                                                      \
+  TLB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define TLB_ACQUIRE(...)                                                       \
+  TLB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define TLB_RELEASE(...)                                                       \
+  TLB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success return
+/// value, e.g. TLB_TRY_ACQUIRE(true).
+#define TLB_TRY_ACQUIRE(...)                                                   \
+  TLB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (deadlock
+/// prevention for self-locking public entry points).
+#define TLB_EXCLUDES(...) TLB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order between capabilities.
+#define TLB_ACQUIRED_BEFORE(...)                                               \
+  TLB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TLB_ACQUIRED_AFTER(...)                                                \
+  TLB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define TLB_RETURN_CAPABILITY(x) TLB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Reserve for code
+/// whose safety argument is confinement or hand-rolled atomics that the
+/// lock model cannot express; leave a comment saying which.
+#define TLB_NO_THREAD_SAFETY_ANALYSIS                                          \
+  TLB_THREAD_ANNOTATION(no_thread_safety_analysis)

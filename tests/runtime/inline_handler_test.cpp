@@ -77,6 +77,11 @@ TEST(InlineHandler, ProtocolShapedCaptureStaysInline) {
   EXPECT_EQ(*state, 46);
 }
 
+// Heap-fallback construction is a static_assert under TLB_STRICT_SBO=ON,
+// so the tests that intentionally exercise the fallback only compile when
+// the escape hatch exists.
+#if !TLB_STRICT_SBO_ENABLED
+
 TEST(InlineHandler, OversizedClosureFallsBackToHeapAndCounts) {
   InlineHandler::reset_heap_fallback_count();
   struct Big {
@@ -113,6 +118,8 @@ TEST(InlineHandler, OverAlignedClosureFallsBackToHeap) {
   h(f.ctx);
   EXPECT_EQ(out, 3.0);
 }
+
+#endif // !TLB_STRICT_SBO_ENABLED
 
 TEST(InlineHandler, MoveTransfersOwnershipAndEmptiesSource) {
   int hits = 0;
@@ -176,6 +183,8 @@ TEST(InlineHandler, ConsumeInvokesAndDestroysInOneStep) {
   EXPECT_FALSE(static_cast<bool>(h)); // consumed handlers are empty
 }
 
+#if !TLB_STRICT_SBO_ENABLED
+
 TEST(InlineHandler, HeapClosureDestructionAccounting) {
   Tracked::reset();
   struct Pad {
@@ -193,6 +202,8 @@ TEST(InlineHandler, HeapClosureDestructionAccounting) {
   EXPECT_EQ(Tracked::live, 0);
 }
 
+#endif // !TLB_STRICT_SBO_ENABLED
+
 TEST(InlineHandler, CloneDuplicatesInlineClosure) {
   InlineHandler::reset_heap_fallback_count();
   auto count = std::make_shared<int>(0);
@@ -207,6 +218,8 @@ TEST(InlineHandler, CloneDuplicatesInlineClosure) {
   b(f.ctx);
   EXPECT_EQ(*count, 2);
 }
+
+#if !TLB_STRICT_SBO_ENABLED
 
 TEST(InlineHandler, CloneOfHeapClosureCountsAnotherFallback) {
   InlineHandler::reset_heap_fallback_count();
@@ -227,6 +240,8 @@ TEST(InlineHandler, CloneOfHeapClosureCountsAnotherFallback) {
   b(f.ctx);
   EXPECT_EQ(*count, 1);
 }
+
+#endif // !TLB_STRICT_SBO_ENABLED
 
 TEST(InlineHandler, MoveOnlyClosureWorksInline) {
   auto owned = std::make_unique<int>(11);

@@ -1,0 +1,10 @@
+// Fixture: invariant-not-assert fires on assert() in src/lb/, while
+// static_assert and the TLB_* contract macros stay clean.
+#include <cassert>
+
+void check(int x) {
+  assert(x > 0); // line 6: invariant-not-assert
+  static_assert(sizeof(int) >= 4);
+  TLB_ASSERT(x > 0, "contract macro is the sanctioned spelling");
+  TLB_INVARIANT(x > 0);
+}

@@ -1,0 +1,14 @@
+// Fixture: no-wall-clock catches chrono and POSIX time sources, including
+// call-shaped tokens split from their paren by whitespace.
+#include <chrono>
+#include <ctime>
+
+long stamps() {
+  auto a = std::chrono::steady_clock::now();            // line 7
+  auto b = std::chrono::system_clock::now ();           // line 8: ws before (
+  auto c = std::chrono::high_resolution_clock::now();   // line 9
+  return time(nullptr) + a.time_since_epoch().count() + // line 10: time(
+         b.time_since_epoch().count() + c.time_since_epoch().count();
+}
+
+int lifetime(int time_budget) { return time_budget; } // clean: not a call

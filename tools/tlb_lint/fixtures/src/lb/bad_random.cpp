@@ -1,0 +1,13 @@
+// Fixture: no-unseeded-rand catches libc and <random> entropy sources;
+// identifiers that merely contain "rand" do not fire.
+#include <cstdlib>
+#include <random>
+
+int entropy() {
+  std::random_device dev;   // line 7: no-unseeded-rand
+  srand(dev());             // line 8: no-unseeded-rand
+  return rand();            // line 9: no-unseeded-rand
+}
+
+int operand(int rand_width) { return rand_width; } // clean: not the token
+int strand() { return 0; }                         // clean: prefix differs

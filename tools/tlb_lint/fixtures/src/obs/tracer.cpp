@@ -1,0 +1,7 @@
+// Fixture: this path suffix is on no-wall-clock's allowlist (trace
+// timestamps are presentation metadata), so the clock read below is clean.
+#include <chrono>
+
+long trace_stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+// Fixture: no-std-function fires in src/runtime/, suppression exempts a
+// single line, and a comment mention never fires. Expected violations are
+// pinned in tests/tools/tlb_lint_test.cpp — update both together.
+#include <functional>
+
+// std::function in a comment is fine.
+std::function<void()> bad;                                  // line 7: fires
+std::function<int()> waived; // tlb-lint: allow(no-std-function)
+char const* prose = "std::function in a string is fine";

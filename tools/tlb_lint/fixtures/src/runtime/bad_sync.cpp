@@ -1,0 +1,9 @@
+// Fixture: no-raw-mutex and no-volatile in the runtime subtree.
+#include <mutex>
+
+std::mutex guard;        // line 4: no-raw-mutex
+volatile int spin = 0;   // line 5: no-volatile
+
+void hold() {
+  std::lock_guard lock{guard}; // line 8: no-raw-mutex
+}

@@ -1,0 +1,14 @@
+// Fixture: a file that mentions every banned token only inside comments,
+// strings, and raw strings — the scrubber must keep it violation-free.
+//
+// std::mutex, std::function, rand(), volatile, assert(), steady_clock::now()
+
+char const* doc = "std::mutex rand() volatile assert( time(";
+char const* raw = R"lint(std::function steady_clock::now() srand()lint";
+char big = '\x22'; // escaped quote in a char literal must not derail state
+int separators = 1'000'000; // digit separators are not char literals
+
+/* block comment spanning lines:
+   std::lock_guard lock{m};
+   std::random_device entropy; */
+int answer = 42;

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file lint.hpp
+/// tlb_lint: the project's in-tree static analyzer for rules clang-tidy
+/// cannot express. It is deliberately token-level — a comment/string
+/// scrubber plus boundary-aware token search — with no libclang
+/// dependency, so it builds everywhere the library builds and always runs
+/// (scripts/lint.sh invokes it unconditionally, unlike clang-tidy which
+/// degrades to a skip when absent).
+///
+/// The rule catalogue is data (default_rules()), not code: each rule names
+/// the banned tokens, the subtrees it applies to, a per-file allowlist for
+/// sanctioned exceptions, and the diagnostic. Call-shaped tokens (trailing
+/// '(') match an identifier followed by optional whitespace and a paren,
+/// so `rand  (` is still caught while `strand(` and `rand_x(` are not.
+///
+/// Per-line suppression: a line whose raw text (comments included)
+/// contains `tlb-lint: allow(<rule>[, <rule>...])` is exempt from the
+/// named rules on that line only. Suppressions are grep-able, reviewed
+/// like any other diff, and the fixture tests pin their behavior.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlb::lint {
+
+struct Violation {
+  std::string file; ///< path as given (repo-relative, '/'-separated)
+  std::size_t line = 0;
+  std::string rule;
+  std::string token; ///< the banned token that matched
+  std::string message;
+};
+
+struct Rule {
+  std::string id;
+  std::vector<std::string> tokens;
+  /// Repo-relative directory prefixes the rule applies to ('/'-separated,
+  /// trailing slash included, e.g. "src/runtime/"). Empty = everywhere.
+  std::vector<std::string> dirs;
+  /// Path suffixes exempt from this rule (sanctioned exceptions).
+  std::vector<std::string> allow_files;
+  std::string message;
+};
+
+/// The project rule catalogue (see DESIGN.md "Static analysis").
+[[nodiscard]] std::vector<Rule> const& default_rules();
+
+/// Replace comment and string-literal bytes with spaces, preserving line
+/// structure, so token search never fires inside prose. Handles //, block
+/// comments, char/string literals with escapes, and raw strings.
+[[nodiscard]] std::string scrub(std::string_view source);
+
+/// Lint one buffer as if it lived at `path` (repo-relative).
+[[nodiscard]] std::vector<Violation>
+lint_source(std::string_view path, std::string_view source,
+            std::vector<Rule> const& rules = default_rules());
+
+/// Lint one on-disk file; `path` is resolved against `root` and reported
+/// repo-relative.
+[[nodiscard]] std::vector<Violation>
+lint_file(std::filesystem::path const& root, std::string const& path,
+          std::vector<Rule> const& rules = default_rules());
+
+/// Recursively lint every C++ source under root/<subdir> for each subdir.
+/// Files are visited in sorted order so output is deterministic.
+[[nodiscard]] std::vector<Violation>
+lint_tree(std::filesystem::path const& root,
+          std::vector<std::string> const& subdirs,
+          std::vector<Rule> const& rules = default_rules());
+
+/// True for the extensions tlb_lint considers C++ sources.
+[[nodiscard]] bool lintable_file(std::string_view path);
+
+} // namespace tlb::lint

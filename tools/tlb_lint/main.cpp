@@ -1,0 +1,99 @@
+/// \file main.cpp
+/// CLI for tlb_lint. Exit status 0 = clean, 1 = violations, 2 = usage.
+///
+///   tlb_lint [--root DIR] [--list-rules] [paths...]
+///
+/// Paths are repo-relative files or directories (default: src). Output is
+/// one `file:line: [rule] message` diagnostic per violation, sorted by the
+/// deterministic tree walk, so CI logs diff cleanly between runs.
+
+#include "lint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using namespace tlb::lint;
+
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string const arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "tlb_lint: --root needs an argument\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tlb_lint [--root DIR] [--list-rules] [paths...]\n"
+                   "Lints repo-relative paths (default: src) against the\n"
+                   "project rule catalogue; exits 1 on any violation.\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "tlb_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (Rule const& rule : default_rules()) {
+      std::cout << rule.id << "\n";
+      for (std::string const& token : rule.tokens) {
+        std::cout << "  token: " << token << "\n";
+      }
+      for (std::string const& dir : rule.dirs) {
+        std::cout << "  dir:   " << dir << "\n";
+      }
+      for (std::string const& file : rule.allow_files) {
+        std::cout << "  allow: " << file << "\n";
+      }
+    }
+    return 0;
+  }
+
+  if (paths.empty()) {
+    paths.push_back("src");
+  }
+
+  std::vector<Violation> violations;
+  for (std::string const& path : paths) {
+    fs::path const abs = root / path;
+    if (fs::is_directory(abs)) {
+      auto batch = lint_tree(root, {path});
+      violations.insert(violations.end(), batch.begin(), batch.end());
+    } else if (fs::is_regular_file(abs)) {
+      auto batch = lint_file(root, path);
+      violations.insert(violations.end(), batch.begin(), batch.end());
+    } else {
+      std::cerr << "tlb_lint: no such file or directory: " << abs.string()
+                << "\n";
+      return 2;
+    }
+  }
+
+  for (Violation const& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message;
+    if (!v.token.empty()) {
+      std::cerr << " (matched `" << v.token << "`)";
+    }
+    std::cerr << "\n";
+  }
+  if (!violations.empty()) {
+    std::cerr << "tlb_lint: " << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
