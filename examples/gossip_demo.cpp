@@ -6,17 +6,23 @@
 ///
 /// Usage: gossip_demo [--ranks=512] [--fanout=6] [--max-rounds=8]
 ///
-/// With --telemetry the demo instead runs a full runtime-backed
-/// TemperedLB invocation (LbManager + ObjectStore over a bimodal
-/// workload) with the telemetry layer enabled, and writes three
-/// machine-readable artifacts next to the working directory:
+/// With --telemetry the demo instead runs a sequence of runtime-backed
+/// TemperedLB invocations (LbManager + ObjectStore) over a bimodal
+/// workload whose hot ranks rotate between phases — a miniature
+/// time-varying imbalance story — with the telemetry layer enabled, and
+/// writes five machine-readable artifacts:
 ///
 ///   <prefix>.trace.json      Chrome trace (load in Perfetto / about:tracing)
 ///   <prefix>.metrics.json    metrics registry snapshot
 ///   <prefix>.lb_report.json  per-round / per-trial LB introspection
+///   <prefix>.timeline.json   per-phase imbalance/migration time series
+///   <prefix>.causal.json     causal delivery log (tlb_report's input)
 ///
-/// Usage: gossip_demo --telemetry [--ranks=64] [--trials=2] [--iters=3]
-///                    [--out-prefix=gossip_demo]
+/// Usage: gossip_demo --telemetry [--ranks=64] [--phases=3] [--trials=2]
+///                    [--iters=3] [--out-prefix=gossip_demo]
+///                    [--trace-out=F --metrics-out=F --timeline-out=F
+///                     --causal-out=F --lb-report-out=F]
+/// (output flags shared with pic_bdot; see telemetry_out.hpp)
 
 #include <algorithm>
 #include <cmath>
@@ -26,7 +32,9 @@
 #include "lb/strategy/lb_manager.hpp"
 #include "lbaf/gossip_sim.hpp"
 #include "lbaf/workload.hpp"
+#include "obs/causal.hpp"
 #include "obs/json.hpp"
+#include "obs/phase_timeline.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
@@ -35,6 +43,7 @@
 #include "support/config.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "telemetry_out.hpp"
 
 namespace {
 
@@ -50,7 +59,8 @@ private:
   std::size_t bytes_;
 };
 
-/// The --telemetry path: one instrumented TemperedLB invocation.
+/// The --telemetry path: a multi-phase instrumented TemperedLB run whose
+/// hot ranks rotate between phases (time-varying imbalance in miniature).
 int run_telemetry_demo(Options const& opts) {
   auto const ranks = static_cast<RankId>(opts.get_int("ranks", 64));
   auto const loaded =
@@ -58,25 +68,14 @@ int run_telemetry_demo(Options const& opts) {
   auto const tasks =
       static_cast<std::size_t>(opts.get_int("tasks", 16 * ranks));
   auto const seed = static_cast<std::uint64_t>(opts.get_int("seed", 3));
-  auto const prefix = opts.get_string("out-prefix", "gossip_demo");
+  auto const phases = static_cast<int>(opts.get_int("phases", 3));
+  examples::TelemetryOut out{opts, "gossip_demo"};
 
   obs::set_enabled(true);
   obs::Tracer::instance().clear();
   obs::registry().clear();
-
-  auto const workload =
-      lbaf::make_bimodal(ranks, loaded, tasks, lbaf::BimodalSpec{}, seed);
-
-  lb::StrategyInput input;
-  input.tasks.resize(static_cast<std::size_t>(ranks));
-  rt::ObjectStore store{ranks};
-  for (std::size_t i = 0; i < workload.tasks.size(); ++i) {
-    auto const home = workload.initial_rank[i];
-    input.tasks[static_cast<std::size_t>(home)].push_back(
-        workload.tasks[i]);
-    store.create(home, workload.tasks[i].id,
-                 std::make_unique<Chunk>(256));
-  }
+  obs::CausalLog::instance().clear();
+  obs::PhaseTimeline::instance().clear();
 
   auto params = lb::LbParams::tempered();
   params.num_trials = static_cast<int>(opts.get_int("trials", 2));
@@ -87,44 +86,70 @@ int run_telemetry_demo(Options const& opts) {
 
   rt::RuntimeConfig rt_config;
   rt_config.num_ranks = ranks;
+  rt_config.seed = seed;
   rt::Runtime runtime{rt_config};
   lb::LbManager manager{runtime, "tempered", params};
-  auto const report = manager.invoke(input, store);
 
-  std::cout << "telemetry demo: P=" << ranks << " tasks="
-            << workload.tasks.size() << " trials=" << params.num_trials
-            << " iters=" << params.num_iterations << "\n"
-            << "  I before = " << Table::fmt(report.imbalance_before, 3)
-            << "  I after = " << Table::fmt(report.imbalance_after, 3)
-            << "  migrations = " << report.cost.migration_count
-            << " (" << report.migration_payload_bytes << " bytes)\n";
+  std::cout << "telemetry demo: P=" << ranks << " tasks=" << tasks
+            << " phases=" << phases << " trials=" << params.num_trials
+            << " iters=" << params.num_iterations << "\n";
+
+  // Each phase re-measures the workload with the hot ranks rotated by a
+  // stride — the imbalance the previous invocation fixed reappears
+  // elsewhere, which is exactly the trajectory the phase timeline (and
+  // tlb_report's imbalance-evolution table) is meant to show.
+  auto const stride = std::max<RankId>(1, ranks / std::max(1, phases));
+  for (int p = 0; p < phases; ++p) {
+    auto const workload =
+        lbaf::make_bimodal(ranks, loaded, tasks, lbaf::BimodalSpec{},
+                           seed + static_cast<std::uint64_t>(p));
+    lb::StrategyInput input;
+    input.tasks.resize(static_cast<std::size_t>(ranks));
+    rt::ObjectStore store{ranks};
+    for (std::size_t i = 0; i < workload.tasks.size(); ++i) {
+      auto const home = static_cast<RankId>(
+          (workload.initial_rank[i] + static_cast<RankId>(p) * stride) %
+          ranks);
+      input.tasks[static_cast<std::size_t>(home)].push_back(
+          workload.tasks[i]);
+      store.create(home, workload.tasks[i].id,
+                   std::make_unique<Chunk>(256));
+    }
+    auto const report = manager.invoke(input, store);
+    std::cout << "  phase " << p << ": I before = "
+              << Table::fmt(report.imbalance_before, 3) << "  I after = "
+              << Table::fmt(report.imbalance_after, 3)
+              << "  migrations = " << report.cost.migration_count << " ("
+              << report.migration_payload_bytes << " bytes)\n";
+  }
 
   runtime.publish_metrics(obs::registry());
 
-  auto const trace_path = prefix + ".trace.json";
-  {
-    auto os = obs::open_output_file(trace_path);
+  bool ok = true;
+  ok &= examples::TelemetryOut::write(out.trace_path(), [](std::ostream& os) {
     obs::Tracer::instance().write_chrome_trace(os);
-  }
-  auto const metrics_path = prefix + ".metrics.json";
-  {
-    auto os = obs::open_output_file(metrics_path);
-    obs::registry().write_json(os);
-  }
-  auto const lb_report_path = prefix + ".lb_report.json";
-  {
-    auto os = obs::open_output_file(lb_report_path);
-    manager.write_introspection_json(os);
-  }
+  });
+  ok &= examples::TelemetryOut::write(
+      out.metrics_path(),
+      [](std::ostream& os) { obs::registry().write_json(os); });
+  ok &= examples::TelemetryOut::write(
+      out.timeline_path(),
+      [](std::ostream& os) { obs::PhaseTimeline::instance().write_json(os); });
+  ok &= examples::TelemetryOut::write(
+      out.causal_path(),
+      [](std::ostream& os) { obs::CausalLog::instance().write_json(os); });
+  ok &= examples::TelemetryOut::write(
+      out.lb_report_path(),
+      [&](std::ostream& os) { manager.write_introspection_json(os); });
 
   std::cout << "  trace events = " << obs::Tracer::instance().event_count()
-            << " (dropped " << obs::Tracer::instance().dropped() << ")\n"
-            << "wrote " << trace_path << "\n"
-            << "wrote " << metrics_path << "\n"
-            << "wrote " << lb_report_path << "\n"
-            << "open the trace in https://ui.perfetto.dev or "
-               "chrome://tracing\n";
-  return 0;
+            << " (dropped " << obs::Tracer::instance().dropped() << ")"
+            << "  causal deliveries = "
+            << obs::CausalLog::instance().event_count() << " (dropped "
+            << obs::CausalLog::instance().dropped() << ")\n"
+            << "render a postmortem with tools/tlb_report, or open the "
+               "trace in https://ui.perfetto.dev\n";
+  return ok ? 0 : 1;
 }
 
 } // namespace

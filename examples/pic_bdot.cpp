@@ -11,7 +11,9 @@
 
 #include <iostream>
 
+#include "obs/causal.hpp"
 #include "obs/json.hpp"
+#include "obs/phase_timeline.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
@@ -19,6 +21,7 @@
 #include "pic/trace.hpp"
 #include "support/config.hpp"
 #include "support/table.hpp"
+#include "telemetry_out.hpp"
 
 int main(int argc, char** argv) {
   using namespace tlb;
@@ -45,6 +48,8 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
     obs::Tracer::instance().clear();
     obs::registry().clear();
+    obs::CausalLog::instance().clear();
+    obs::PhaseTimeline::instance().clear();
   }
 
   pic::PicApp app{cfg};
@@ -87,24 +92,33 @@ int main(int argc, char** argv) {
   }
 
   if (telemetry) {
-    auto const prefix = opts.get_string("out-prefix", "pic_bdot");
+    examples::TelemetryOut out{opts, "pic_bdot"};
     app.runtime().publish_metrics(obs::registry());
-    {
-      auto os = obs::open_output_file(prefix + ".trace.json");
-      obs::Tracer::instance().write_chrome_trace(os);
-    }
-    {
-      auto os = obs::open_output_file(prefix + ".metrics.json");
-      obs::registry().write_json(os);
-    }
-    std::cout << "\nwrote " << prefix << ".trace.json ("
-              << obs::Tracer::instance().event_count() << " events) and "
-              << prefix << ".metrics.json\n";
+    std::cout << "\n";
+    bool ok = true;
+    ok &= examples::TelemetryOut::write(
+        out.trace_path(),
+        [](std::ostream& os) {
+          obs::Tracer::instance().write_chrome_trace(os);
+        });
+    ok &= examples::TelemetryOut::write(
+        out.metrics_path(),
+        [](std::ostream& os) { obs::registry().write_json(os); });
+    ok &= examples::TelemetryOut::write(
+        out.timeline_path(), [](std::ostream& os) {
+          obs::PhaseTimeline::instance().write_json(os);
+        });
+    ok &= examples::TelemetryOut::write(
+        out.causal_path(),
+        [](std::ostream& os) { obs::CausalLog::instance().write_json(os); });
     if (auto const* manager = app.lb_manager()) {
-      auto os = obs::open_output_file(prefix + ".lb_report.json");
-      manager->write_introspection_json(os);
-      std::cout << "wrote " << prefix << ".lb_report.json ("
-                << manager->introspection().size() << " invocations)\n";
+      ok &= examples::TelemetryOut::write(
+          out.lb_report_path(), [&](std::ostream& os) {
+            manager->write_introspection_json(os);
+          });
+    }
+    if (!ok) {
+      return 1;
     }
   }
   return 0;

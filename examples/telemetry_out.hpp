@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file telemetry_out.hpp
+/// Shared --telemetry output plumbing for the examples. Every demo that
+/// dumps telemetry accepts the same flags:
+///
+///   --out-prefix=P      default path stem (default: the demo's name)
+///   --trace-out=F       Chrome trace        (default P.trace.json)
+///   --metrics-out=F     registry snapshot   (default P.metrics.json)
+///   --timeline-out=F    phase timeline      (default P.timeline.json)
+///   --causal-out=F      causal delivery log (default P.causal.json)
+///   --lb-report-out=F   LB introspection    (default P.lb_report.json)
+///
+/// Writers report open failures (with errno detail) on stderr and return
+/// false instead of throwing out of main.
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "support/config.hpp"
+
+namespace tlb::examples {
+
+/// Resolved output paths for one demo run.
+class TelemetryOut {
+public:
+  TelemetryOut(Options const& opts, std::string default_prefix)
+      : prefix_{opts.get_string("out-prefix", default_prefix)},
+        trace_{opts.get_string("trace-out", prefix_ + ".trace.json")},
+        metrics_{opts.get_string("metrics-out", prefix_ + ".metrics.json")},
+        timeline_{
+            opts.get_string("timeline-out", prefix_ + ".timeline.json")},
+        causal_{opts.get_string("causal-out", prefix_ + ".causal.json")},
+        lb_report_{
+            opts.get_string("lb-report-out", prefix_ + ".lb_report.json")} {}
+
+  [[nodiscard]] std::string const& trace_path() const { return trace_; }
+  [[nodiscard]] std::string const& metrics_path() const { return metrics_; }
+  [[nodiscard]] std::string const& timeline_path() const {
+    return timeline_;
+  }
+  [[nodiscard]] std::string const& causal_path() const { return causal_; }
+  [[nodiscard]] std::string const& lb_report_path() const {
+    return lb_report_;
+  }
+
+  /// Open `path` and run `emit` on the stream; on failure print the
+  /// error (open_output_file includes path + errno detail) and return
+  /// false. Prints "wrote <path>" on success.
+  static bool write(std::string const& path,
+                    std::function<void(std::ostream&)> const& emit) {
+    try {
+      auto os = obs::open_output_file(path);
+      emit(os);
+    } catch (std::exception const& e) {
+      std::cerr << "telemetry output error: " << e.what() << "\n";
+      return false;
+    }
+    std::cout << "wrote " << path << "\n";
+    return true;
+  }
+
+private:
+  std::string prefix_;
+  std::string trace_;
+  std::string metrics_;
+  std::string timeline_;
+  std::string causal_;
+  std::string lb_report_;
+};
+
+} // namespace tlb::examples

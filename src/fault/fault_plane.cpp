@@ -1,5 +1,7 @@
 #include "fault/fault_plane.hpp"
 
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 
 namespace tlb::fault {
@@ -69,6 +71,14 @@ rt::DrainGate FaultPlane::on_drain(RankId rank, std::uint64_t poll) {
     }
     if (poll >= config_.crash_at_poll) {
       crashed_[slot].store(true, std::memory_order_release);
+#if TLB_TELEMETRY_ENABLED
+      if (obs::enabled()) {
+        // The injected crash just fired (first transition only — the
+        // early-return above covers later polls): capture the black box
+        // before the runtime purges the dead rank's mailbox.
+        (void)obs::dump_flight_record("fault_crash");
+      }
+#endif
       return rt::DrainGate::crashed;
     }
   }

@@ -2,7 +2,10 @@
 
 #include <optional>
 
+#include "obs/causal.hpp"
+#include "obs/phase_timeline.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 #include "support/stats.hpp"
 
@@ -35,11 +38,20 @@ LbManager::Report LbManager::invoke(StrategyInput const& input,
                                     rt::ObjectStore& store) {
   Report report;
   report.phase = history_.size();
-  report.imbalance_before = imbalance(input.rank_loads());
+  auto const loads = input.rank_loads();
+  report.imbalance_before = imbalance(loads);
 
-  // Telemetry on: hand the strategy a report builder for this invocation.
+  // Telemetry on: hand the strategy a report builder for this invocation,
+  // and open the phase on the causal log so root messages posted during
+  // the invocation carry the step they belong to.
   std::optional<obs::LbReportBuilder> builder;
+  std::int64_t wall_start = 0;
+  rt::NetworkStatsSnapshot fault_base;
   if (obs::enabled()) {
+    obs::CausalLog::instance().set_step(
+        static_cast<std::uint32_t>(report.phase));
+    fault_base = rt_->stats();
+    wall_start = obs::Tracer::instance().now_us();
     builder.emplace();
     // Baseline metadata for strategies that ignore the builder; the
     // gossip strategies overwrite these with their own view.
@@ -53,12 +65,48 @@ LbManager::Report LbManager::invoke(StrategyInput const& input,
   report.imbalance_after = result.achieved_imbalance;
   report.cost = result.cost;
   report.migration_payload_bytes = store.migrate(*rt_, result.migrations);
+  report.aborted_rounds = result.aborted_rounds;
 
   if (builder) {
     strategy_->set_introspection(nullptr);
     builder->set_final(report.imbalance_after, result.cost.migration_count,
                        report.migration_payload_bytes);
     introspection_.push_back(builder->finish(report.phase));
+
+    // Feed the phase timeline (the flight recorder's black box).
+    auto const summary = summarize(loads);
+    auto const faults = rt_->stats();
+    auto fault_delta = [&](auto member) {
+      std::uint64_t delta = 0;
+      for (std::size_t k = 0; k < rt::num_message_kinds; ++k) {
+        delta += (faults.*member)[k] - (fault_base.*member)[k];
+      }
+      return delta;
+    };
+    obs::PhaseSample sample;
+    sample.phase = report.phase;
+    sample.strategy = std::string{strategy_->name()};
+    sample.load_min = summary.min;
+    sample.load_max = summary.max;
+    sample.load_avg = summary.mean;
+    sample.load_stddev = summary.stddev;
+    sample.imbalance_before = report.imbalance_before;
+    sample.imbalance_after = report.imbalance_after;
+    sample.migrations = result.cost.migration_count;
+    sample.migration_bytes = report.migration_payload_bytes;
+    sample.lb_messages = result.cost.lb_messages;
+    sample.lb_bytes = result.cost.lb_bytes;
+    sample.lb_wall_us = obs::Tracer::instance().now_us() - wall_start;
+    sample.aborted_rounds = result.aborted_rounds;
+    sample.faults_dropped =
+        fault_delta(&rt::NetworkStatsSnapshot::kind_dropped);
+    sample.faults_delayed =
+        fault_delta(&rt::NetworkStatsSnapshot::kind_delayed);
+    sample.faults_duplicated =
+        fault_delta(&rt::NetworkStatsSnapshot::kind_duplicated);
+    sample.faults_retried =
+        fault_delta(&rt::NetworkStatsSnapshot::kind_retried);
+    obs::PhaseTimeline::instance().record(std::move(sample));
   }
   history_.push_back(report);
   return report;

@@ -29,6 +29,8 @@ public:
     double imbalance_after = 0.0;
     StrategyCost cost;
     std::size_t migration_payload_bytes = 0;
+    /// Protocol rounds abandoned by the quiescence budget valve.
+    std::size_t aborted_rounds = 0;
   };
 
   /// \param rt       Runtime the strategies communicate over.

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file causal.hpp
+/// Causal tracing: every envelope sent while telemetry is enabled carries
+/// a CausalStamp (origin rank, LB step, parent span id, hop count); the
+/// runtime stamps it at send time from the stamp of the message whose
+/// handler performed the send, so arbitrary fan-out chains — gossip
+/// forwards, transfer proposals, migration payloads, termination waves —
+/// stay linked from root post to final delivery. Each delivery appends a
+/// CausalEvent to the process-wide CausalLog (per-thread bounded buffers,
+/// Tracer-style), and compute_critical_path() reconstructs the deepest
+/// chain ending at quiescence with per-rank / per-kind wall-time
+/// attribution — the "why was this step slow" reducer that tlb_report and
+/// the flight recorder build on.
+///
+/// Identity scheme: id = ((sender_slot + 1) << 40) | per-sender sequence
+/// number, where slot P is the driver. Ids are therefore unique, nonzero,
+/// and — because each slot's counter is only advanced by that rank's
+/// (serialized) handlers — deterministic across runs of a seeded
+/// workload. A fault-plane duplicate shares its original's id: the clone
+/// IS the same logical message, and the reducer treats the first recorded
+/// delivery as authoritative.
+///
+/// Everything here is compiled out with the telemetry gate; with the gate
+/// on but telemetry runtime-disabled, the only residue on the message
+/// paths is the enabled() load (see bench/micro_causal.cpp).
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
+#include "support/types.hpp"
+
+namespace tlb::obs {
+
+/// Causal identity carried by rt::Envelope (when the telemetry gate is
+/// compiled in). id == 0 marks an unstamped message (telemetry was off at
+/// send time); parent == 0 marks a root (driver-posted) message.
+struct CausalStamp {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  RankId origin = invalid_rank; ///< rank whose root work started the chain
+  std::uint32_t step = 0;       ///< LB step/phase active at the chain root
+  std::uint16_t hop = 0;        ///< distance from the chain root
+};
+
+/// One delivery, recorded after the handler ran. `kind` must be a string
+/// with static storage duration (message_kind_name() literals on the
+/// recording path; interned copies when parsed back by tlb_report).
+struct CausalEvent {
+  CausalStamp stamp;
+  RankId from = invalid_rank;
+  RankId to = invalid_rank;
+  char const* kind = "";
+  std::uint64_t bytes = 0;
+  std::int64_t ts_us = 0;  ///< handler start (tracer epoch)
+  std::int64_t dur_us = 0; ///< handler execution time
+};
+
+/// Process-wide delivery log: per-thread bounded ring buffers with the
+/// same overflow-drops-newest discipline as the Tracer. Under the
+/// sequential driver there is a single buffer and the event order is the
+/// (deterministic) delivery order.
+class CausalLog {
+public:
+  [[nodiscard]] static CausalLog& instance();
+
+  CausalLog() = default;
+  CausalLog(CausalLog const&) = delete;
+  CausalLog& operator=(CausalLog const&) = delete;
+
+  void record(CausalEvent const& event) TLB_EXCLUDES(mutex_);
+
+  /// Current LB step, stamped onto root messages. Bumped by the LB
+  /// manager at each invocation (driver-side, between quiescent points).
+  [[nodiscard]] std::uint32_t step() const {
+    return step_.load(std::memory_order_relaxed);
+  }
+  void set_step(std::uint32_t step) {
+    step_.store(step, std::memory_order_relaxed);
+  }
+
+  /// All recorded events, buffers concatenated in registration order.
+  /// Call at quiescent points (same caveat as Tracer::write_chrome_trace).
+  [[nodiscard]] std::vector<CausalEvent> snapshot() const
+      TLB_EXCLUDES(mutex_);
+
+  /// Write the log as a JSON document:
+  ///   {"step": N, "dropped": D, "events": [{...}, ...]}.
+  void write_json(std::ostream& os) const TLB_EXCLUDES(mutex_);
+
+  void clear() TLB_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t event_count() const TLB_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const TLB_EXCLUDES(mutex_);
+
+  /// Ring capacity per thread. Larger than the Tracer's: a multi-phase
+  /// 64-rank demo delivers tens of thousands of messages per phase and
+  /// the critical path is only as good as the log's coverage.
+  static constexpr std::size_t max_events_per_thread = 1u << 17;
+
+private:
+  struct ThreadBuffer {
+    SpinLock mutex;
+    std::vector<CausalEvent> events TLB_GUARDED_BY(mutex);
+    std::uint64_t dropped TLB_GUARDED_BY(mutex) = 0;
+  };
+
+  [[nodiscard]] ThreadBuffer& local_buffer() TLB_EXCLUDES(mutex_);
+
+  mutable SpinLock mutex_; ///< guards buffers_ (registration + drain)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ TLB_GUARDED_BY(mutex_);
+  std::atomic<std::uint32_t> step_{0};
+};
+
+/// Serialize one event as a JSON object through an already-open writer
+/// scope — shared by CausalLog::write_json and the flight recorder.
+class JsonWriter;
+void write_causal_event(JsonWriter& w, CausalEvent const& event);
+
+/// Wall time attributed to one key (a rank or a message kind) along the
+/// critical path.
+struct PathAttribution {
+  std::string key;
+  std::int64_t us = 0;
+  std::size_t hops = 0;
+};
+
+/// The reconstructed longest causal chain. Deterministic given the event
+/// set: the terminal event is the one with the greatest hop count (ties
+/// broken by larger id — the latest-created among the deepest), and the
+/// chain is walked back through parent ids to its root.
+struct CriticalPath {
+  std::vector<CausalEvent> chain; ///< root first, terminal last
+  std::int64_t handler_us = 0;    ///< sum of dur_us along the chain
+  /// Attribution along the chain, sorted by descending us (ties by key).
+  std::vector<PathAttribution> by_rank;
+  std::vector<PathAttribution> by_kind;
+};
+
+/// Reduce a delivery log to its critical path. Events with id == 0
+/// (unstamped) are ignored; duplicate ids keep their first occurrence.
+/// Returns an empty chain when no stamped event exists.
+[[nodiscard]] CriticalPath
+compute_critical_path(std::vector<CausalEvent> const& events);
+
+} // namespace tlb::obs

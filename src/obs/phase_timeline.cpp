@@ -1,0 +1,98 @@
+#include "obs/phase_timeline.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace tlb::obs {
+
+PhaseTimeline& PhaseTimeline::instance() {
+  static PhaseTimeline timeline;
+  return timeline;
+}
+
+PhaseTimeline::PhaseTimeline(std::size_t capacity) : capacity_{capacity} {
+  ring_.reserve(capacity_);
+}
+
+void PhaseTimeline::record(PhaseSample sample) {
+  SpinLockGuard lock{mutex_};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[head_] = std::move(sample);
+  }
+  head_ = (head_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<PhaseSample> PhaseTimeline::samples() const {
+  SpinLockGuard lock{mutex_};
+  std::vector<PhaseSample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: head_ points at the oldest sample.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t PhaseTimeline::total_recorded() const {
+  SpinLockGuard lock{mutex_};
+  return total_;
+}
+
+void PhaseTimeline::clear() {
+  SpinLockGuard lock{mutex_};
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void write_phase_sample(JsonWriter& w, PhaseSample const& sample) {
+  w.begin_object();
+  w.kv("phase", static_cast<unsigned long long>(sample.phase));
+  w.kv("strategy", sample.strategy);
+  w.kv("load_min", sample.load_min);
+  w.kv("load_max", sample.load_max);
+  w.kv("load_avg", sample.load_avg);
+  w.kv("load_stddev", sample.load_stddev);
+  w.kv("imbalance_before", sample.imbalance_before);
+  w.kv("imbalance_after", sample.imbalance_after);
+  w.kv("migrations", static_cast<unsigned long long>(sample.migrations));
+  w.kv("migration_bytes",
+       static_cast<unsigned long long>(sample.migration_bytes));
+  w.kv("lb_messages", static_cast<unsigned long long>(sample.lb_messages));
+  w.kv("lb_bytes", static_cast<unsigned long long>(sample.lb_bytes));
+  w.kv("lb_wall_us", static_cast<long long>(sample.lb_wall_us));
+  w.kv("aborted_rounds",
+       static_cast<unsigned long long>(sample.aborted_rounds));
+  w.kv("faults_dropped",
+       static_cast<unsigned long long>(sample.faults_dropped));
+  w.kv("faults_delayed",
+       static_cast<unsigned long long>(sample.faults_delayed));
+  w.kv("faults_duplicated",
+       static_cast<unsigned long long>(sample.faults_duplicated));
+  w.kv("faults_retried",
+       static_cast<unsigned long long>(sample.faults_retried));
+  w.end_object();
+}
+
+void PhaseTimeline::write_json(std::ostream& os) const {
+  auto const retained = samples();
+  JsonWriter w{os};
+  w.begin_object();
+  w.kv("total_recorded", static_cast<unsigned long long>(total_recorded()));
+  w.key("timeline").begin_array();
+  for (PhaseSample const& sample : retained) {
+    write_phase_sample(w, sample);
+  }
+  w.end_array();
+  w.end_object();
+}
+
+} // namespace tlb::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file phase_timeline.hpp
+/// Per-phase time series of the quantities the paper's story is about:
+/// how rank-load spread, imbalance λ, migration volume, and LB invocation
+/// cost evolve across phases of a time-varying workload. One PhaseSample
+/// is recorded per LB invocation (by LbManager::invoke when telemetry is
+/// enabled) into a process-wide bounded ring buffer; the same buffer is
+/// the flight recorder's postmortem payload, so the last `capacity`
+/// phases are always available when an invariant fires or a crash
+/// triggers — an always-on black box, not just an export.
+///
+/// Exported as a JSON time series ({"timeline": [...]}) consumed by
+/// tools/tlb_report's imbalance-evolution table.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace tlb::obs {
+
+class JsonWriter;
+
+/// One LB invocation's phase record. Plain ints/doubles/strings only: the
+/// obs layer sits below src/lb, so nothing here may mention lb types.
+struct PhaseSample {
+  std::uint64_t phase = 0;
+  std::string strategy;
+  /// Pre-LB measured rank-load distribution.
+  double load_min = 0.0;
+  double load_max = 0.0;
+  double load_avg = 0.0;
+  double load_stddev = 0.0;
+  /// The paper's imbalance metric λ = max/avg − 1, before and after.
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_bytes = 0;
+  /// LB protocol traffic (gossip + transfer control messages).
+  std::uint64_t lb_messages = 0;
+  std::uint64_t lb_bytes = 0;
+  /// Wall time of the invocation (decide + migrate), tracer clock.
+  std::int64_t lb_wall_us = 0;
+  std::uint64_t aborted_rounds = 0;
+  /// Fault-plane outcome deltas across the invocation (all zero without
+  /// an installed fault plane).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_retried = 0;
+};
+
+/// Bounded ring of PhaseSamples. Overflow overwrites the oldest sample —
+/// the opposite policy from the Tracer's drop-newest, because a flight
+/// recorder must favor the most recent history.
+class PhaseTimeline {
+public:
+  [[nodiscard]] static PhaseTimeline& instance();
+
+  explicit PhaseTimeline(std::size_t capacity = 1024);
+  PhaseTimeline(PhaseTimeline const&) = delete;
+  PhaseTimeline& operator=(PhaseTimeline const&) = delete;
+
+  void record(PhaseSample sample) TLB_EXCLUDES(mutex_);
+
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<PhaseSample> samples() const TLB_EXCLUDES(mutex_);
+  /// Lifetime total recorded (>= samples().size(); the difference is what
+  /// the ring has already forgotten).
+  [[nodiscard]] std::uint64_t total_recorded() const TLB_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() TLB_EXCLUDES(mutex_);
+
+  /// Write the retained series as {"timeline": [...], "total_recorded": N}.
+  void write_json(std::ostream& os) const TLB_EXCLUDES(mutex_);
+
+private:
+  std::size_t const capacity_;
+  mutable SpinLock mutex_;
+  std::vector<PhaseSample> ring_ TLB_GUARDED_BY(mutex_);
+  std::size_t head_ TLB_GUARDED_BY(mutex_) = 0; ///< next write position
+  std::uint64_t total_ TLB_GUARDED_BY(mutex_) = 0;
+};
+
+/// Serialize one sample through an already-open writer scope — shared by
+/// PhaseTimeline::write_json and the flight recorder.
+void write_phase_sample(JsonWriter& w, PhaseSample const& sample);
+
+} // namespace tlb::obs

@@ -142,11 +142,25 @@ void Registry::clear() {
   entries_.clear();
 }
 
-void Registry::write_json(std::ostream& os) const {
-  auto const samples = snapshot();
-  JsonWriter w{os};
-  w.begin_object();
-  w.key("metrics").begin_array();
+void sort_samples(std::vector<MetricSample>& samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](MetricSample const& a, MetricSample const& b) {
+              if (a.name != b.name) {
+                return a.name < b.name;
+              }
+              return std::lexicographical_compare(
+                  a.labels.begin(), a.labels.end(), b.labels.begin(),
+                  b.labels.end(), [](Label const& x, Label const& y) {
+                    if (x.key != y.key) {
+                      return x.key < y.key;
+                    }
+                    return x.value < y.value;
+                  });
+            });
+}
+
+void write_metric_samples_json(JsonWriter& w,
+                               std::vector<MetricSample> const& samples) {
   for (MetricSample const& s : samples) {
     w.begin_object();
     w.kv("name", s.name);
@@ -182,12 +196,22 @@ void Registry::write_json(std::ostream& os) const {
     }
     w.end_object();
   }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  auto samples = snapshot();
+  sort_samples(samples);
+  JsonWriter w{os};
+  w.begin_object();
+  w.key("metrics").begin_array();
+  write_metric_samples_json(w, samples);
   w.end_array();
   w.end_object();
 }
 
 void Registry::write_prometheus(std::ostream& os) const {
-  auto const samples = snapshot();
+  auto samples = snapshot();
+  sort_samples(samples);
   // TYPE lines are emitted once per family (first occurrence of a name).
   std::vector<std::string> typed;
   for (MetricSample const& s : samples) {

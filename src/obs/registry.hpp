@@ -39,6 +39,8 @@ using Labels = std::vector<Label>;
 
 enum class MetricKind : std::uint8_t { counter, gauge, histogram };
 
+class JsonWriter;
+
 /// Point-in-time copy of one metric, as read by Registry::snapshot().
 struct MetricSample {
   std::string name;
@@ -78,10 +80,13 @@ public:
   /// Export the snapshot as a JSON document:
   ///   {"metrics": [{"name": ..., "labels": {...}, "kind": ...,
   ///                 "value": ...}, ...]}
+  /// Families and label sets are sorted (see sort_samples), so the output
+  /// is byte-stable across runs regardless of registration order.
   void write_json(std::ostream& os) const;
 
-  /// Export in the Prometheus text exposition format. Dots in metric
-  /// names become underscores (`net.messages` -> `net_messages`).
+  /// Export in the Prometheus text exposition format, in the same sorted
+  /// order as write_json. Dots in metric names become underscores
+  /// (`net.messages` -> `net_messages`).
   void write_prometheus(std::ostream& os) const;
 
   [[nodiscard]] std::size_t size() const TLB_EXCLUDES(mutex_);
@@ -113,6 +118,17 @@ private:
   std::vector<std::unique_ptr<Entry>> entries_
       TLB_GUARDED_BY(mutex_); ///< registration order
 };
+
+/// Sort samples into the canonical export order — by name, then by the
+/// (already key-canonicalized) label vector — so exports and golden
+/// files diff stably no matter which code path registered first.
+void sort_samples(std::vector<MetricSample>& samples);
+
+/// Serialize `samples` as a JSON array of metric objects through an
+/// already-open writer scope (the body of write_json's "metrics" array;
+/// shared with the flight recorder's postmortem document). Does not sort.
+void write_metric_samples_json(JsonWriter& w,
+                               std::vector<MetricSample> const& samples);
 
 /// The process-wide default registry (what the runtime fold-in and the
 /// examples use). Individual components may still own private registries.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
+
 namespace tlb::obs {
 
 #if TLB_TELEMETRY_ENABLED
@@ -21,7 +23,11 @@ int resolve_from_env() {
   // Another thread may have resolved (or set_enabled) concurrently; their
   // value wins.
   g_state.compare_exchange_strong(expected, on, std::memory_order_relaxed);
-  return g_state.load(std::memory_order_relaxed);
+  int const state = g_state.load(std::memory_order_relaxed);
+  if (state == 1) {
+    install_flight_recorder();
+  }
+  return state;
 }
 
 } // namespace
@@ -36,6 +42,11 @@ bool enabled() {
 
 void set_enabled(bool on) {
   g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+  if (on) {
+    // Arm the invariant-failure trigger: telemetry on means there is a
+    // black box worth dumping when an abort-mode violation fires.
+    install_flight_recorder();
+  }
 }
 
 #endif

@@ -14,9 +14,14 @@
 
 #include <cstddef>
 
+#include "obs/telemetry.hpp"
 #include "runtime/inline_handler.hpp"
 #include "runtime/network_stats.hpp"
 #include "support/types.hpp"
+
+#if TLB_TELEMETRY_ENABLED
+#include "obs/causal.hpp"
+#endif
 
 namespace tlb::rt {
 
@@ -27,6 +32,19 @@ class RankContext;
 using Handler = InlineHandler;
 
 struct Envelope {
+  Envelope() = default;
+  /// Positional construction mirrors the old aggregate layout so the
+  /// runtime's call sites read identically whether or not the telemetry
+  /// gate adds trailing members.
+  Envelope(RankId from_, RankId to_, std::size_t bytes_, Handler handler_,
+           MessageKind kind_ = MessageKind::other, bool fault_exempt_ = false)
+      : from{from_},
+        to{to_},
+        bytes{bytes_},
+        handler{std::move(handler_)},
+        kind{kind_},
+        fault_exempt{fault_exempt_} {}
+
   RankId from = invalid_rank; ///< invalid_rank marks driver-injected work
   RankId to = invalid_rank;
   std::size_t bytes = 0;      ///< modeled wire size of the payload
@@ -37,6 +55,15 @@ struct Envelope {
   /// itself (a duplicate must not fission) and protocol-internal retry
   /// triggers injected by the driver.
   bool fault_exempt = false;
+#if TLB_TELEMETRY_ENABLED
+  /// Causal identity (origin rank, LB step, parent span id, hop count),
+  /// stamped by the runtime at send time when telemetry is enabled —
+  /// id == 0 otherwise. Compiled out with the gate so the dormant
+  /// envelope is unchanged. Constructing envelopes outside src/runtime
+  /// bypasses the stamping (and is lint-forbidden:
+  /// no-envelope-outside-runtime).
+  obs::CausalStamp cause;
+#endif
 };
 
 } // namespace tlb::rt

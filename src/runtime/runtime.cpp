@@ -4,6 +4,7 @@
 #include <optional>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "support/assert.hpp"
@@ -20,8 +21,13 @@ void RankContext::send(RankId to, std::size_t bytes, Handler handler,
   } else {
     rt_->stats_.record_send(to == rank_, bytes, kind);
   }
-  rt_->enqueue(Envelope{rank_, to, bytes, std::move(handler), kind},
-               coalescer_);
+  Envelope env{rank_, to, bytes, std::move(handler), kind};
+#if TLB_TELEMETRY_ENABLED
+  if (obs::enabled()) {
+    rt_->stamp_causal(env, rank_, cause_);
+  }
+#endif
+  rt_->enqueue(std::move(env), coalescer_);
 }
 
 Rng& RankContext::rng() { return rt_->rank_rng(rank_); }
@@ -39,14 +45,70 @@ Runtime::Runtime(RuntimeConfig config)
   for (RankId r = 0; r < config.num_ranks; ++r) {
     rank_rngs_.push_back(root.split(static_cast<std::uint64_t>(r)));
   }
+#if TLB_TELEMETRY_ENABLED
+  // One sequence slot per rank plus the driver's (index num_ranks).
+  causal_seq_.assign(static_cast<std::size_t>(config.num_ranks) + 1, 0);
+#endif
 }
+
+#if TLB_TELEMETRY_ENABLED
+
+void Runtime::stamp_causal(Envelope& env, RankId sender,
+                           obs::CausalStamp const* cause) {
+  auto const slot = sender == invalid_rank
+                        ? static_cast<std::size_t>(num_ranks())
+                        : static_cast<std::size_t>(sender);
+  // 2^40 ids per sender before collision with the next slot — unreachable
+  // (the causal log itself caps out far earlier).
+  env.cause.id = ((static_cast<std::uint64_t>(slot) + 1) << 40) |
+                 ++causal_seq_[slot];
+  if (cause != nullptr && cause->id != 0) {
+    env.cause.parent = cause->id;
+    env.cause.origin = cause->origin;
+    env.cause.step = cause->step;
+    env.cause.hop = static_cast<std::uint16_t>(cause->hop + 1);
+  } else {
+    // Root message: a driver post (origin = the rank the work lands on)
+    // or a handler send whose own delivery predates telemetry being
+    // switched on.
+    env.cause.parent = 0;
+    env.cause.origin = sender == invalid_rank ? env.to : sender;
+    env.cause.step = obs::CausalLog::instance().step();
+    env.cause.hop = 0;
+  }
+}
+
+void Runtime::consume_traced(Envelope& env, RankContext& ctx) {
+  obs::Tracer const& tracer = obs::Tracer::instance();
+  ctx.cause_ = &env.cause;
+  auto const t0 = tracer.now_us();
+  env.handler.consume(ctx);
+  auto const t1 = tracer.now_us();
+  ctx.cause_ = nullptr;
+  obs::CausalEvent event;
+  event.stamp = env.cause;
+  event.from = env.from;
+  event.to = env.to;
+  event.kind = message_kind_name(env.kind);
+  event.bytes = env.bytes;
+  event.ts_us = t0;
+  event.dur_us = t1 - t0;
+  obs::CausalLog::instance().record(event);
+}
+
+#endif // TLB_TELEMETRY_ENABLED
 
 void Runtime::post(RankId to, Handler handler, std::size_t bytes,
                    MessageKind kind) {
   TLB_EXPECTS(to >= 0 && to < num_ranks());
   stats_.record_send(false, bytes, kind);
-  enqueue(Envelope{invalid_rank, to, bytes, std::move(handler), kind},
-          nullptr);
+  Envelope env{invalid_rank, to, bytes, std::move(handler), kind};
+#if TLB_TELEMETRY_ENABLED
+  if (obs::enabled()) {
+    stamp_causal(env, invalid_rank, nullptr);
+  }
+#endif
+  enqueue(std::move(env), nullptr);
 }
 
 void Runtime::post_all(Handler const& handler) {
@@ -70,6 +132,11 @@ void Runtime::post_all(Handler const& handler) {
     local.record_send(false, 0, MessageKind::other);
     auto& mailbox = mailboxes_[static_cast<std::size_t>(r)];
     Envelope env{invalid_rank, r, 0, handler.clone(), MessageKind::other};
+#if TLB_TELEMETRY_ENABLED
+    if (obs::enabled()) {
+      stamp_causal(env, invalid_rank, nullptr);
+    }
+#endif
     auto const depth = consumer ? mailbox.push_consumer(std::move(env))
                                 : mailbox.push(std::move(env));
     if (depth > local.max_mailbox_depth) {
@@ -86,6 +153,14 @@ void Runtime::post_delayed(RankId to, Handler handler,
   stats_.record_send(false, bytes, kind);
   Envelope env{invalid_rank, to, bytes, std::move(handler), kind,
                /*fault_exempt=*/true};
+#if TLB_TELEMETRY_ENABLED
+  if (obs::enabled()) {
+    // Retry triggers and other delayed work start fresh causal roots:
+    // they model local scheduling, not wire traffic, so the chain they
+    // spawn (e.g. a handshake resend) is attributed to the retry itself.
+    stamp_causal(env, invalid_rank, nullptr);
+  }
+#endif
   if (delay_polls == 0) {
     enqueue_direct(std::move(env), nullptr);
     return;
@@ -119,6 +194,12 @@ void Runtime::enqueue(Envelope env, SendCoalescer* coalescer) {
                       static_cast<int>(env.kind));
       Envelope clone{env.from, env.to, env.bytes, env.handler.clone(),
                      env.kind, /*fault_exempt=*/true};
+#if TLB_TELEMETRY_ENABLED
+      // A duplicate IS the same logical message: it shares the original's
+      // causal identity rather than consuming a fresh id, so the causal
+      // graph (and the id sequence later sends observe) is unchanged.
+      clone.cause = env.cause;
+#endif
       enqueue_direct(std::move(clone), coalescer);
       break; // the original still delivers below
     }
@@ -299,6 +380,12 @@ std::size_t Runtime::drain_rank(RankId rank, WorkerState& worker,
                                 if (!span) {
                                   span.emplace("rt", "drain");
                                 }
+#if TLB_TELEMETRY_ENABLED
+                                if (obs::enabled()) {
+                                  consume_traced(env, ctx);
+                                  return;
+                                }
+#endif
                                 env.handler.consume(ctx);
                               });
     if (span) {
@@ -317,9 +404,16 @@ std::size_t Runtime::drain_rank(RankId rank, WorkerState& worker,
   }
   if (!worker.scratch.empty()) {
     TLB_SPAN_ARG("rt", "drain", "n", n);
-    for (Envelope& env : worker.scratch) {
-      env.handler.consume(ctx); // invoke + destroy in one dispatch
-    }
+#if TLB_TELEMETRY_ENABLED
+    if (obs::enabled()) {
+      for (Envelope& env : worker.scratch) {
+        consume_traced(env, ctx);
+      }
+    } else
+#endif
+      for (Envelope& env : worker.scratch) {
+        env.handler.consume(ctx); // invoke + destroy in one dispatch
+      }
   }
   // Flush the batch's coalesced sends before retiring the batch from the
   // in-flight counter: buffered messages were counted at append time, so
@@ -355,6 +449,13 @@ bool Runtime::run_until_quiescent(std::size_t max_polls) {
   }
   bool const aborted = abort_.load(std::memory_order_relaxed);
   if (aborted) {
+#if TLB_TELEMETRY_ENABLED
+    if (obs::enabled()) {
+      // Liveness valve tripped: capture the black box before the flush
+      // below destroys the evidence of what was still in flight.
+      (void)obs::dump_flight_record("quiesce_budget_exhausted");
+    }
+#endif
     // Budget expired with work still in flight. No handler is executing
     // any more, so everything left lives in the mailboxes: flush it
     // (counted as dropped) so the runtime is reusable and in-flight is an

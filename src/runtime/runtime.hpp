@@ -142,10 +142,24 @@ public:
 
   [[nodiscard]] Runtime& runtime() { return *rt_; }
 
+#if TLB_TELEMETRY_ENABLED
+  /// Causal stamp of the envelope currently being delivered on this
+  /// context (null outside a delivery, or when telemetry was off at
+  /// delivery time): the parent for every send the handler performs.
+  [[nodiscard]] obs::CausalStamp const* current_cause() const {
+    return cause_;
+  }
+#endif
+
 private:
+  friend class Runtime;
+
   Runtime* rt_;
   RankId rank_;
   SendCoalescer* coalescer_;
+#if TLB_TELEMETRY_ENABLED
+  obs::CausalStamp const* cause_ = nullptr;
+#endif
 };
 
 class Runtime {
@@ -295,6 +309,18 @@ private:
     }
   }
 
+#if TLB_TELEMETRY_ENABLED
+  /// Assign `env` its causal identity: a fresh deterministic id from the
+  /// sender's sequence slot, chained to `cause` (the stamp of the message
+  /// whose handler is sending) or rooted at the current LB step when
+  /// there is none. Only called when obs::enabled().
+  void stamp_causal(Envelope& env, RankId sender,
+                    obs::CausalStamp const* cause);
+  /// Deliver one envelope with causal context installed and the delivery
+  /// recorded into the CausalLog (timestamps from the tracer clock).
+  void consume_traced(Envelope& env, RankContext& ctx);
+#endif
+
   void enqueue(Envelope env, SendCoalescer* coalescer);
   /// The fault-oblivious tail of enqueue: counts the message in flight,
   /// then buffers it (coalescing path) or pushes it straight into the
@@ -343,6 +369,13 @@ private:
   std::atomic<std::uint64_t> audit_enqueued_{0};
   std::atomic<std::uint64_t> audit_processed_{0};
   std::atomic<std::uint64_t> audit_purged_{0};
+#if TLB_TELEMETRY_ENABLED
+  /// Per-sender causal sequence counters: slot r is advanced only by rank
+  /// r's (serialized) handlers, slot P only by the driver thread, so
+  /// plain non-atomic counters are race-free and the id assignment is
+  /// deterministic under the sequential driver.
+  std::vector<std::uint64_t> causal_seq_;
+#endif
 };
 
 } // namespace tlb::rt

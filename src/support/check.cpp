@@ -11,6 +11,7 @@ namespace tlb::audit {
 namespace {
 
 std::atomic<Mode> g_mode{Mode::abort_process};
+std::atomic<FailureHook> g_failure_hook{nullptr};
 std::atomic<std::size_t> g_violations{0};
 SpinLock g_last_mutex;
 std::string g_last TLB_GUARDED_BY(g_last_mutex);
@@ -61,7 +62,19 @@ void report(char const* expr, char const* what, char const* file, int line) {
   }
   std::fprintf(stderr, "tlb: invariant violated: %s: (%s) at %s:%d\n", what,
                expr, file, line);
+  if (FailureHook const hook =
+          g_failure_hook.load(std::memory_order_acquire)) {
+    hook(what);
+  }
   std::abort();
+}
+
+void set_failure_hook(FailureHook hook) {
+  g_failure_hook.store(hook, std::memory_order_release);
+}
+
+FailureHook failure_hook() {
+  return g_failure_hook.load(std::memory_order_acquire);
 }
 
 } // namespace tlb::audit

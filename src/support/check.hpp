@@ -58,6 +58,15 @@ void reset_violations();
 /// according to the active mode.
 void report(char const* expr, char const* what, char const* file, int line);
 
+/// Hook invoked once, after the violation is printed and immediately
+/// before an abort-mode violation terminates the process — the flight
+/// recorder's attachment point (obs::install_flight_recorder). Never
+/// called in Mode::count. The hook must not throw: it runs on the abort
+/// path. nullptr uninstalls.
+using FailureHook = void (*)(char const* what);
+void set_failure_hook(FailureHook hook);
+[[nodiscard]] FailureHook failure_hook();
+
 namespace detail {
 /// RAII-free helper so `TLB_AUDIT_BLOCK { ... }` parses as an if-body.
 [[nodiscard]] inline bool block_enabled() {

@@ -139,17 +139,46 @@ TEST(Registry, JsonExportParsesBack) {
   auto const& metrics = doc.at("metrics").array();
   ASSERT_EQ(metrics.size(), 3u);
 
-  EXPECT_EQ(metrics[0].at("name").str(), "net.messages");
-  EXPECT_EQ(metrics[0].at("kind").str(), "counter");
-  EXPECT_EQ(metrics[0].at("labels").at("category").str(), "gossip");
-  EXPECT_EQ(metrics[0].at("value").num(), 12.0);
+  // Exports are sorted by (name, labels), not registration order.
+  EXPECT_EQ(metrics[0].at("name").str(), "lat");
+  EXPECT_EQ(metrics[0].at("kind").str(), "histogram");
+  EXPECT_EQ(metrics[0].at("count").num(), 1.0);
+  ASSERT_EQ(metrics[0].at("buckets").array().size(), 3u);
 
+  EXPECT_EQ(metrics[1].at("name").str(), "net.depth");
   EXPECT_EQ(metrics[1].at("kind").str(), "gauge");
   EXPECT_EQ(metrics[1].at("value").num(), -3.0);
 
-  EXPECT_EQ(metrics[2].at("kind").str(), "histogram");
-  EXPECT_EQ(metrics[2].at("count").num(), 1.0);
-  ASSERT_EQ(metrics[2].at("buckets").array().size(), 3u);
+  EXPECT_EQ(metrics[2].at("name").str(), "net.messages");
+  EXPECT_EQ(metrics[2].at("kind").str(), "counter");
+  EXPECT_EQ(metrics[2].at("labels").at("category").str(), "gossip");
+  EXPECT_EQ(metrics[2].at("value").num(), 12.0);
+}
+
+TEST(Registry, ExportsAreByteStableAcrossRegistrationOrder) {
+  // The same families registered in different orders must serialize
+  // identically — what makes metrics snapshots diffable across runs.
+  Registry forward;
+  forward.counter("net.messages", {{"category", "gossip"}}).inc(7);
+  forward.counter("net.messages", {{"category", "transfer"}}).inc(2);
+  forward.gauge("net.depth").set(5);
+
+  Registry reverse;
+  reverse.gauge("net.depth").set(5);
+  reverse.counter("net.messages", {{"category", "transfer"}}).inc(2);
+  reverse.counter("net.messages", {{"category", "gossip"}}).inc(7);
+
+  std::ostringstream json_a;
+  std::ostringstream json_b;
+  forward.write_json(json_a);
+  reverse.write_json(json_b);
+  EXPECT_EQ(json_a.str(), json_b.str());
+
+  std::ostringstream prom_a;
+  std::ostringstream prom_b;
+  forward.write_prometheus(prom_a);
+  reverse.write_prometheus(prom_b);
+  EXPECT_EQ(prom_a.str(), prom_b.str());
 }
 
 TEST(Registry, PrometheusExportShape) {

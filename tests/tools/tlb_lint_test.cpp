@@ -66,6 +66,21 @@ TEST(Match, CallShapedTokenNeedsIdentifierBoundaryAndParen) {
   ASSERT_EQ(lint("src/x.cpp", "int y = rand  ();").size(), 1u);
 }
 
+TEST(Match, BraceShapedTokenNeedsIdentifierBoundaryAndBrace) {
+  // no-envelope-outside-runtime's brace-construction shape.
+  ASSERT_EQ(lint("src/lb/x.cpp", "auto e = rt::Envelope{1, 2};").size(), 1u);
+  ASSERT_EQ(lint("src/lb/x.cpp", "auto e = Envelope {1, 2};").size(), 1u);
+  EXPECT_EQ(lint("src/lb/x.cpp", "EnvelopeView v{};").size(), 0u);
+  EXPECT_EQ(lint("src/lb/x.cpp", "auto n = envelope_count(3);").size(), 0u);
+  // Paren shape fires too; plain mentions do not.
+  ASSERT_EQ(lint("src/lb/x.cpp", "auto e = rt::Envelope(a, b);").size(), 1u);
+  EXPECT_EQ(lint("src/lb/x.cpp", "void take(rt::Envelope&& env);").size(),
+            0u);
+  // Outside the scoped dirs the rule is inert (runtime owns envelopes).
+  EXPECT_EQ(lint("src/runtime/x.cpp", "auto e = Envelope{1, 2};").size(),
+            0u);
+}
+
 TEST(Match, QualifiedTokenMatchesThroughLongerQualification) {
   auto const v =
       lint("src/x.cpp", "auto t = std::chrono::steady_clock::now();");
@@ -139,6 +154,9 @@ TEST(Fixtures, CorpusProducesExactlyThePinnedViolations) {
       "src/lb/bad_clock.cpp:8:no-wall-clock",
       "src/lb/bad_clock.cpp:9:no-wall-clock",
       "src/lb/bad_clock.cpp:10:no-wall-clock",
+      "src/lb/bad_envelope.cpp:11:no-envelope-outside-runtime",
+      "src/lb/bad_envelope.cpp:12:no-envelope-outside-runtime",
+      "src/lb/bad_envelope.cpp:14:no-envelope-outside-runtime",
       "src/lb/bad_random.cpp:7:no-unseeded-rand",
       "src/lb/bad_random.cpp:8:no-unseeded-rand",
       "src/lb/bad_random.cpp:9:no-unseeded-rand",

@@ -1,0 +1,24 @@
+// Fixture: no-envelope-outside-runtime catches both construction shapes
+// (brace and paren), bare and rt::-qualified, but not lookalike
+// identifiers or suppressed lines. The declaration keeps its brace on the
+// next line so only the construction sites are in scope.
+namespace rt {
+struct Envelope
+{};
+} // namespace rt
+
+rt::Envelope make_bad() {
+  auto a = rt::Envelope{};                       // line 11: qualified brace
+  rt::Envelope b = rt::Envelope ();              // line 12: ws before paren
+  using rt::Envelope;
+  auto c = Envelope{};                           // line 14: bare brace
+  auto ok = rt::Envelope{}; // tlb-lint: allow(no-envelope-outside-runtime)
+  (void)b;
+  (void)c;
+  (void)ok;
+  return a;
+}
+
+struct EnvelopeView
+{};                                   // clean: identifier boundary
+int envelope_count(int n) { return n; } // clean: not a construction

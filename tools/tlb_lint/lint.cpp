@@ -36,25 +36,26 @@ namespace {
       [&](std::string const& f) { return ends_with(path, f); });
 }
 
-/// Tokens ending in '(' are call-shaped: the identifier part must be
-/// boundary-clean and the '(' may be separated by whitespace.
+/// Tokens ending in '(' are call-shaped, tokens ending in '{' are
+/// construction-shaped: the identifier part must be boundary-clean and
+/// the closing punctuator may be separated by whitespace.
 struct TokenShape {
   std::string_view ident; ///< the part requiring word boundaries
-  bool call = false;      ///< must be followed by (optional ws and) '('
+  char suffix = '\0';     ///< '(' or '{' that must follow (after opt. ws)
 };
 
 [[nodiscard]] TokenShape shape_of(std::string_view token) {
-  if (!token.empty() && token.back() == '(') {
-    return {token.substr(0, token.size() - 1), true};
+  if (!token.empty() && (token.back() == '(' || token.back() == '{')) {
+    return {token.substr(0, token.size() - 1), token.back()};
   }
-  return {token, false};
+  return {token, '\0'};
 }
 
 /// Does `line` (already scrubbed of comments/strings) contain `token` as a
 /// standalone identifier (or qualified-id) occurrence?
 [[nodiscard]] bool line_matches(std::string_view line,
                                 std::string_view token) {
-  auto const [ident, call] = shape_of(token);
+  auto const [ident, suffix] = shape_of(token);
   std::size_t pos = 0;
   while ((pos = line.find(ident, pos)) != std::string_view::npos) {
     bool const pre_ok = pos == 0 || (!ident_char(line[pos - 1]) &&
@@ -71,12 +72,12 @@ struct TokenShape {
                          : pre_ok;
     std::size_t after = pos + ident.size();
     bool post = after >= line.size() || !ident_char(line[after]);
-    if (post && call) {
+    if (post && suffix != '\0') {
       while (after < line.size() &&
              (line[after] == ' ' || line[after] == '\t')) {
         ++after;
       }
-      post = after < line.size() && line[after] == '(';
+      post = after < line.size() && line[after] == suffix;
     }
     if (pre && post) {
       return true;
@@ -159,7 +160,8 @@ std::string scrub(std::string_view source) {
         // Raw string R"delim( ... )delim": find the delimiter.
         std::size_t const open = source.find('(', i + 2);
         if (open != std::string_view::npos) {
-          raw_delim = ")";
+          raw_delim.clear();
+          raw_delim.push_back(')');
           raw_delim.append(source.substr(i + 2, open - (i + 2)));
           raw_delim.push_back('"');
           state = State::raw_string;
@@ -302,6 +304,20 @@ std::vector<Rule> const& default_rules() {
           "use TLB_INVARIANT (support/check.hpp) or TLB_ASSERT "
           "(support/assert.hpp) instead of assert(): contract checks must "
           "not vanish in release experiment builds",
+      },
+      {
+          "no-envelope-outside-runtime",
+          // Both construction shapes, bare and qualified: the bare tokens
+          // reject a ':' prefix themselves, so the qualified spellings
+          // need their own entries.
+          {"Envelope{", "Envelope(", "rt::Envelope{", "rt::Envelope("},
+          {"src/lb/", "src/lbaf/", "src/obs/", "src/fault/", "src/pic/",
+           "src/support/"},
+          {},
+          "constructing rt::Envelope outside src/runtime bypasses causal "
+          "stamping and fault-exemption accounting: send through "
+          "RankContext::send / Runtime::post so the runtime owns envelope "
+          "creation",
       },
   };
   return rules;

@@ -1,0 +1,168 @@
+/// \file main.cpp
+/// tlb_report CLI: render a postmortem from telemetry JSON artifacts.
+///
+///   tlb_report --causal=run.causal.json --timeline=run.timeline.json
+///              [--metrics=run.metrics.json] [--lb-report=run.lb.json]
+///              [--flight=tlb_flight_record.json] [--top=K] [--stable]
+///              [--require-chain=N] [--out=postmortem.txt]
+///
+/// Exit codes: 0 on success, 1 on bad usage / unreadable input /
+/// malformed JSON, 2 when --require-chain=N is given and the
+/// reconstructed critical path is shorter than N deliveries (the CI
+/// smoke's "non-trivial path" gate).
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "report.hpp"
+
+namespace {
+
+bool match_flag(std::string const& arg, char const* name,
+                std::string* value) {
+  std::string const prefix = std::string{name} + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+/// Read a whole file; reports errno on failure.
+bool slurp(std::string const& path, std::string* out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "tlb_report: cannot open '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tlb_report [--causal=F] [--timeline=F] [--metrics=F]\n"
+      "                  [--lb-report=F] [--flight=F] [--top=K] [--stable]\n"
+      "                  [--require-chain=N] [--out=F]\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string causal_path;
+  std::string timeline_path;
+  std::string metrics_path;
+  std::string lb_report_path;
+  std::string flight_path;
+  std::string out_path;
+  tlb::report::ReportOptions opts;
+  std::size_t require_chain = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string const arg = argv[i];
+    std::string value;
+    if (match_flag(arg, "--causal", &causal_path) ||
+        match_flag(arg, "--timeline", &timeline_path) ||
+        match_flag(arg, "--metrics", &metrics_path) ||
+        match_flag(arg, "--lb-report", &lb_report_path) ||
+        match_flag(arg, "--flight", &flight_path) ||
+        match_flag(arg, "--out", &out_path)) {
+      continue;
+    }
+    if (match_flag(arg, "--top", &value)) {
+      opts.top_k = static_cast<std::size_t>(std::stoul(value));
+      continue;
+    }
+    if (match_flag(arg, "--require-chain", &value)) {
+      require_chain = static_cast<std::size_t>(std::stoul(value));
+      continue;
+    }
+    if (arg == "--stable") {
+      opts.stable = true;
+      continue;
+    }
+    std::fprintf(stderr, "tlb_report: unknown argument '%s'\n", arg.c_str());
+    return usage();
+  }
+  if (causal_path.empty() && timeline_path.empty() && metrics_path.empty() &&
+      lb_report_path.empty() && flight_path.empty()) {
+    std::fprintf(stderr, "tlb_report: no input files\n");
+    return usage();
+  }
+
+  tlb::report::ReportInput input;
+  tlb::report::KindInterner interner;
+  auto ingest = [&](std::string const& path, auto loader) {
+    if (path.empty()) {
+      return true;
+    }
+    std::string text;
+    if (!slurp(path, &text)) {
+      return false;
+    }
+    try {
+      loader(tlb::obs::parse_json(text));
+    } catch (std::exception const& e) {
+      std::fprintf(stderr, "tlb_report: '%s': %s\n", path.c_str(), e.what());
+      return false;
+    }
+    return true;
+  };
+
+  using tlb::obs::JsonValue;
+  bool const ok =
+      ingest(flight_path,
+             [&](JsonValue const& doc) {
+               tlb::report::load_flight_record(doc, input, interner);
+             }) &&
+      ingest(causal_path,
+             [&](JsonValue const& doc) {
+               tlb::report::load_causal(doc, input, interner);
+             }) &&
+      ingest(timeline_path,
+             [&](JsonValue const& doc) {
+               tlb::report::load_timeline(doc, input);
+             }) &&
+      ingest(metrics_path,
+             [&](JsonValue const& doc) {
+               tlb::report::load_metrics(doc, input);
+             }) &&
+      ingest(lb_report_path, [&](JsonValue const& doc) {
+        tlb::report::load_lb_reports(doc, input);
+      });
+  if (!ok) {
+    return 1;
+  }
+
+  std::size_t chain_len = 0;
+  if (out_path.empty()) {
+    chain_len = tlb::report::render_report(std::cout, input, opts);
+  } else {
+    std::ofstream out{out_path, std::ios::binary};
+    if (!out) {
+      std::fprintf(stderr, "tlb_report: cannot open '%s': %s\n",
+                   out_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    chain_len = tlb::report::render_report(out, input, opts);
+  }
+
+  if (require_chain > 0 && chain_len < require_chain) {
+    std::fprintf(stderr,
+                 "tlb_report: critical path has %zu deliveries, "
+                 "--require-chain wanted >= %zu\n",
+                 chain_len, require_chain);
+    return 2;
+  }
+  return 0;
+}
