@@ -8,6 +8,8 @@
 ///   pic_bdot --strategy=none --mode=spmd       # pure-MPI baseline
 ///   pic_bdot --strategy=greedy --steps=300
 ///   pic_bdot --ranks-x=20 --ranks-y=20         # paper's 400-rank layout
+///   pic_bdot --policy=costbenefit              # adaptive LB invocation
+///   pic_bdot --policy=threshold-0.5            # reactive λ trigger
 
 #include <iostream>
 
@@ -40,6 +42,9 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0xE3));
   cfg.runtime_threads = static_cast<int>(opts.get_int("threads", 1));
   cfg.lb_params.rounds = static_cast<int>(opts.get_int("rounds", 5));
+  // --policy replaces the periodic schedule with an adaptive trigger
+  // policy; every step's invoke-or-skip decision lands in the timeline.
+  cfg.policy = opts.get_string("policy", "");
 
   // --telemetry: record spans/metrics/LB introspection over the whole run
   // and dump them as machine-readable JSON at the end.
@@ -77,7 +82,17 @@ int main(int argc, char** argv) {
   }
   series.print(std::cout);
 
+  std::size_t lb_invocations = 0;
+  for (auto const& m : result.steps) {
+    if (m.t_lb > 0.0) {
+      ++lb_invocations;
+    }
+  }
   std::cout << "\ntotals (simulated seconds):\n"
+            << "  LB invocations:    " << lb_invocations
+            << (cfg.policy.empty() ? " (periodic schedule)"
+                                   : " (policy " + cfg.policy + ")")
+            << "\n"
             << "  particle update:   " << result.totals.t_particle << "\n"
             << "  non-particle:      " << result.totals.t_nonparticle << "\n"
             << "  load balancing:    " << result.totals.t_lb << "\n"

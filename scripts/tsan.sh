@@ -19,7 +19,8 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target test_runtime test_strategies test_obs test_fault
+  --target test_runtime test_strategies test_obs test_fault \
+  test_policy test_workload
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "./${BUILD_DIR}/tests/test_runtime"
@@ -28,4 +29,8 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 # The chaos matrix drives the threaded worker-pool driver through drops,
 # delays, duplicates, stalls, and a mid-run crash — the racy-est surface.
 "./${BUILD_DIR}/tests/test_fault"
-echo "tsan.sh: runtime + strategy + obs + fault suites clean under ThreadSanitizer" >&2
+# Policy decisions + scenario sims run LB invocations (threaded driver)
+# behind the trigger layer; the sweep exercises it across all scenarios.
+"./${BUILD_DIR}/tests/test_policy"
+"./${BUILD_DIR}/tests/test_workload"
+echo "tsan.sh: runtime + strategy + obs + fault + policy + workload suites clean under ThreadSanitizer" >&2

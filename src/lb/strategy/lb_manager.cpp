@@ -36,8 +36,15 @@ StrategyResult LbManager::decide(StrategyInput const& input) {
 
 LbManager::Report LbManager::invoke(StrategyInput const& input,
                                     rt::ObjectStore& store) {
+  return invoke_internal(input, store, nullptr, {});
+}
+
+LbManager::Report LbManager::invoke_internal(StrategyInput const& input,
+                                             rt::ObjectStore& store,
+                                             policy::Decision const* decision,
+                                             std::string_view policy_name) {
   Report report;
-  report.phase = history_.size();
+  report.phase = next_phase_;
   auto const loads = input.rank_loads();
   report.imbalance_before = imbalance(loads);
 
@@ -66,6 +73,7 @@ LbManager::Report LbManager::invoke(StrategyInput const& input,
   report.cost = result.cost;
   report.migration_payload_bytes = store.migrate(*rt_, result.migrations);
   report.aborted_rounds = result.aborted_rounds;
+  report.new_rank_loads = result.new_rank_loads;
 
   if (builder) {
     strategy_->set_introspection(nullptr);
@@ -106,10 +114,71 @@ LbManager::Report LbManager::invoke(StrategyInput const& input,
         fault_delta(&rt::NetworkStatsSnapshot::kind_duplicated);
     sample.faults_retried =
         fault_delta(&rt::NetworkStatsSnapshot::kind_retried);
+    if (decision != nullptr) {
+      sample.policy = std::string{policy_name};
+      sample.decision_reason = std::string{decision->reason};
+      sample.forecast_imbalance = decision->forecast_imbalance;
+      sample.forecast_error = decision->forecast_error;
+      sample.predicted_gain = decision->predicted_gain;
+      sample.predicted_cost = decision->predicted_cost;
+    }
+    obs::snapshot_loads(sample, loads,
+                        obs::PhaseTimeline::instance().snapshot_top_k());
     obs::PhaseTimeline::instance().record(std::move(sample));
   }
   history_.push_back(report);
+  ++next_phase_;
   return report;
+}
+
+LbManager::PolicyOutcome
+LbManager::invoke_if_beneficial(StrategyInput const& input,
+                                rt::ObjectStore& store,
+                                policy::TriggerPolicy& policy,
+                                LbCostModel const& cost_model) {
+  PolicyOutcome out;
+  auto const loads = input.rank_loads();
+  out.decision = policy.decide(next_phase_, loads);
+  if (out.decision.invoke) {
+    out.invoked = true;
+    out.report = invoke_internal(input, store, &out.decision, policy.name());
+    out.lb_cost_seconds = cost_model.cost(out.report.cost.lb_messages,
+                                          out.report.cost.lb_bytes,
+                                          out.report.migration_payload_bytes);
+    policy.record_outcome(true, out.lb_cost_seconds,
+                          out.report.new_rank_loads);
+    return out;
+  }
+
+  // Skip: nothing runs, but the phase still happened — record it.
+  out.report.phase = next_phase_;
+  out.report.imbalance_before = imbalance(loads);
+  out.report.imbalance_after = out.report.imbalance_before;
+  policy.record_outcome(false, 0.0, {});
+  if (obs::enabled()) {
+    auto const summary = summarize(loads);
+    obs::PhaseSample sample;
+    sample.phase = out.report.phase;
+    sample.strategy = std::string{strategy_->name()};
+    sample.load_min = summary.min;
+    sample.load_max = summary.max;
+    sample.load_avg = summary.mean;
+    sample.load_stddev = summary.stddev;
+    sample.imbalance_before = out.report.imbalance_before;
+    sample.imbalance_after = out.report.imbalance_after;
+    sample.lb_invoked = false;
+    sample.policy = std::string{policy.name()};
+    sample.decision_reason = std::string{out.decision.reason};
+    sample.forecast_imbalance = out.decision.forecast_imbalance;
+    sample.forecast_error = out.decision.forecast_error;
+    sample.predicted_gain = out.decision.predicted_gain;
+    sample.predicted_cost = out.decision.predicted_cost;
+    obs::snapshot_loads(sample, loads,
+                        obs::PhaseTimeline::instance().snapshot_top_k());
+    obs::PhaseTimeline::instance().record(std::move(sample));
+  }
+  ++next_phase_;
+  return out;
 }
 
 void LbManager::write_introspection_json(std::ostream& os) const {

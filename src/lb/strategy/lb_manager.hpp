@@ -15,10 +15,30 @@
 
 #include "lb/strategy/strategy.hpp"
 #include "obs/lb_report.hpp"
+#include "policy/trigger_policy.hpp"
 #include "runtime/object_store.hpp"
 #include "runtime/phase.hpp"
 
 namespace tlb::lb {
+
+/// Converts an LB invocation's protocol/migration accounting into the
+/// simulated seconds the trigger policies weigh against forecast gains.
+/// Defaults mirror pic::WorkModel's calibrated coefficients.
+struct LbCostModel {
+  double per_message = 2.0e-6;
+  double per_byte = 5.0e-10;
+  double per_migration_byte = 4.0e-9;
+  /// Fixed per-invocation overhead (the synchronization/barrier cost of
+  /// entering the balancer at all, independent of traffic).
+  double fixed = 0.0;
+
+  [[nodiscard]] double cost(std::size_t messages, std::size_t bytes,
+                            std::size_t migration_bytes) const {
+    return fixed + per_message * static_cast<double>(messages) +
+           per_byte * static_cast<double>(bytes) +
+           per_migration_byte * static_cast<double>(migration_bytes);
+  }
+};
 
 class LbManager {
 public:
@@ -31,6 +51,20 @@ public:
     std::size_t migration_payload_bytes = 0;
     /// Protocol rounds abandoned by the quiescence budget valve.
     std::size_t aborted_rounds = 0;
+    /// Expected per-rank loads after the migrations (what the strategy
+    /// projected); the policy layer re-seeds its forecaster from these.
+    std::vector<LoadType> new_rank_loads;
+  };
+
+  /// One adaptive-invocation step's outcome (invoke_if_beneficial).
+  struct PolicyOutcome {
+    /// On a skip this is a zero-cost report whose imbalance_after simply
+    /// repeats imbalance_before (nothing ran).
+    Report report;
+    policy::Decision decision;
+    bool invoked = false;
+    /// Modeled LB cost fed back to the policy (0 on skip).
+    double lb_cost_seconds = 0.0;
   };
 
   /// \param rt       Runtime the strategies communicate over.
@@ -49,6 +83,17 @@ public:
   /// Run one LB invocation: decide migrations from `input` and execute
   /// them on `store` (moving payloads with runtime messages).
   Report invoke(StrategyInput const& input, rt::ObjectStore& store);
+
+  /// Adaptive invocation: ask `policy` whether the balancer should run
+  /// this phase. On invoke, runs invoke() and feeds the measured cost
+  /// (via `cost_model`) and projected post-LB loads back to the policy;
+  /// on skip, records a skip PhaseSample into the timeline (telemetry
+  /// permitting) and advances the phase counter so phase numbering stays
+  /// aligned with the application's phases.
+  PolicyOutcome invoke_if_beneficial(StrategyInput const& input,
+                                     rt::ObjectStore& store,
+                                     policy::TriggerPolicy& policy,
+                                     LbCostModel const& cost_model = {});
 
   /// Decide migrations only (no object store); useful for analysis.
   [[nodiscard]] StrategyResult decide(StrategyInput const& input);
@@ -69,11 +114,19 @@ public:
   void write_introspection_json(std::ostream& os) const;
 
 private:
+  Report invoke_internal(StrategyInput const& input, rt::ObjectStore& store,
+                         policy::Decision const* decision,
+                         std::string_view policy_name);
+
   rt::Runtime* rt_;
   std::unique_ptr<Strategy> strategy_;
   LbParams params_;
   std::vector<Report> history_;
   std::vector<obs::LbInvocationReport> introspection_;
+  /// Phase number stamped on the next report/sample. Advanced by both
+  /// invocations and policy skips, so it tracks application phases (it
+  /// equals history_.size() only when no phase was ever skipped).
+  std::size_t next_phase_ = 0;
 };
 
 } // namespace tlb::lb

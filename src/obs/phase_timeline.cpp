@@ -1,5 +1,6 @@
 #include "obs/phase_timeline.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "obs/json.hpp"
@@ -53,6 +54,48 @@ void PhaseTimeline::clear() {
   total_ = 0;
 }
 
+void PhaseTimeline::set_snapshot_top_k(std::size_t k) {
+  SpinLockGuard lock{mutex_};
+  snapshot_top_k_ = k;
+}
+
+std::size_t PhaseTimeline::snapshot_top_k() const {
+  SpinLockGuard lock{mutex_};
+  return snapshot_top_k_;
+}
+
+void snapshot_loads(PhaseSample& sample, std::span<double const> loads,
+                    std::size_t top_k) {
+  sample.snapshot_ranks = static_cast<std::uint32_t>(loads.size());
+  sample.top_loads.clear();
+  sample.rest_load_sum = 0.0;
+  auto const k = std::min(top_k, loads.size());
+  if (k > 0) {
+    std::vector<RankLoadSample> all;
+    all.reserve(loads.size());
+    for (std::size_t r = 0; r < loads.size(); ++r) {
+      all.push_back({static_cast<std::int32_t>(r), loads[r]});
+    }
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                      all.end(),
+                      [](RankLoadSample const& a, RankLoadSample const& b) {
+                        if (a.load != b.load) {
+                          return a.load > b.load;
+                        }
+                        return a.rank < b.rank;
+                      });
+    sample.top_loads.assign(all.begin(),
+                            all.begin() + static_cast<std::ptrdiff_t>(k));
+    for (std::size_t i = k; i < all.size(); ++i) {
+      sample.rest_load_sum += all[i].load;
+    }
+  } else {
+    for (double const l : loads) {
+      sample.rest_load_sum += l;
+    }
+  }
+}
+
 void write_phase_sample(JsonWriter& w, PhaseSample const& sample) {
   w.begin_object();
   w.kv("phase", static_cast<unsigned long long>(sample.phase));
@@ -79,6 +122,24 @@ void write_phase_sample(JsonWriter& w, PhaseSample const& sample) {
        static_cast<unsigned long long>(sample.faults_duplicated));
   w.kv("faults_retried",
        static_cast<unsigned long long>(sample.faults_retried));
+  w.kv("lb_invoked", sample.lb_invoked);
+  w.kv("policy", sample.policy);
+  w.kv("reason", sample.decision_reason);
+  w.kv("forecast_imbalance", sample.forecast_imbalance);
+  w.kv("forecast_error", sample.forecast_error);
+  w.kv("predicted_gain", sample.predicted_gain);
+  w.kv("predicted_cost", sample.predicted_cost);
+  w.kv("snapshot_ranks",
+       static_cast<unsigned long long>(sample.snapshot_ranks));
+  w.kv("rest_load_sum", sample.rest_load_sum);
+  w.key("top_loads").begin_array();
+  for (RankLoadSample const& rl : sample.top_loads) {
+    w.begin_object();
+    w.kv("rank", static_cast<long long>(rl.rank));
+    w.kv("load", rl.load);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,12 @@
 namespace tlb::obs {
 
 class JsonWriter;
+
+/// One retained (rank, load) pair of a truncated per-rank snapshot.
+struct RankLoadSample {
+  std::int32_t rank = -1;
+  double load = 0.0;
+};
 
 /// One LB invocation's phase record. Plain ints/doubles/strings only: the
 /// obs layer sits below src/lb, so nothing here may mention lb types.
@@ -52,6 +59,27 @@ struct PhaseSample {
   std::uint64_t faults_delayed = 0;
   std::uint64_t faults_duplicated = 0;
   std::uint64_t faults_retried = 0;
+  /// Adaptive-invocation decision context. lb_invoked is false when the
+  /// trigger policy skipped the balancer this phase (migration/cost
+  /// fields are then zero); policy/decision_reason stay empty for
+  /// unconditioned invocations.
+  bool lb_invoked = true;
+  std::string policy;
+  std::string decision_reason;
+  /// Forecast next-phase imbalance λ̂ and the forecaster's trailing
+  /// relative-L1 error EMA at decision time (0 when not forecasting).
+  double forecast_imbalance = 0.0;
+  double forecast_error = 0.0;
+  /// The cost/benefit pair the decision weighed (seconds; 0 when n/a).
+  double predicted_gain = 0.0;
+  double predicted_cost = 0.0;
+  /// Per-rank pre-LB load snapshot, truncated to the top-k loaded ranks
+  /// plus the summed remainder so the ring's memory stays bounded.
+  /// snapshot_ranks is the full rank count the snapshot was taken over
+  /// (0 when no snapshot was recorded).
+  std::uint32_t snapshot_ranks = 0;
+  std::vector<RankLoadSample> top_loads;
+  double rest_load_sum = 0.0;
 };
 
 /// Bounded ring of PhaseSamples. Overflow overwrites the oldest sample —
@@ -76,6 +104,11 @@ public:
 
   void clear() TLB_EXCLUDES(mutex_);
 
+  /// How many per-rank loads a snapshot keeps verbatim before the rest is
+  /// collapsed into rest_load_sum (default 8). Clear() does not reset it.
+  void set_snapshot_top_k(std::size_t k) TLB_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t snapshot_top_k() const TLB_EXCLUDES(mutex_);
+
   /// Write the retained series as {"timeline": [...], "total_recorded": N}.
   void write_json(std::ostream& os) const TLB_EXCLUDES(mutex_);
 
@@ -85,7 +118,15 @@ private:
   std::vector<PhaseSample> ring_ TLB_GUARDED_BY(mutex_);
   std::size_t head_ TLB_GUARDED_BY(mutex_) = 0; ///< next write position
   std::uint64_t total_ TLB_GUARDED_BY(mutex_) = 0;
+  std::size_t snapshot_top_k_ TLB_GUARDED_BY(mutex_) = 8;
 };
+
+/// Fill `sample`'s snapshot fields from a full per-rank load vector: the
+/// `top_k` highest-loaded ranks verbatim (load descending, rank ascending
+/// on ties — deterministic for goldens), everything else summed into
+/// rest_load_sum. top_k == 0 records only snapshot_ranks and the total.
+void snapshot_loads(PhaseSample& sample, std::span<double const> loads,
+                    std::size_t top_k);
 
 /// Serialize one sample through an already-open writer scope — shared by
 /// PhaseTimeline::write_json and the flight recorder.

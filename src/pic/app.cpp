@@ -42,6 +42,9 @@ PicApp::PicApp(PicConfig config)
   if (balancing) {
     lb_manager_ = std::make_unique<lb::LbManager>(runtime_, config_.strategy,
                                                   config_.lb_params);
+    if (!config_.policy.empty()) {
+      trigger_policy_ = policy::make_policy(config_.policy);
+    }
   }
 }
 
@@ -202,7 +205,26 @@ RunResult PicApp::run() {
 
     instrumentation_.start_phase();
 
-    if (is_lb_step(step, metrics.imbalance)) {
+    if (trigger_policy_ != nullptr) {
+      // Adaptive invocation: the policy sees every step's measured loads
+      // and decides itself; the WorkModel's LB coefficients become the
+      // cost model its cost/benefit criterion weighs gains against.
+      auto const input =
+          lb::LbManager::gather_input(instrumentation_, mesh_.num_ranks());
+      lb::LbCostModel const cost_model{config_.work.lb_per_message,
+                                       config_.work.lb_per_byte,
+                                       config_.work.migration_per_byte, 0.0};
+      auto const outcome = lb_manager_->invoke_if_beneficial(
+          input, store_, *trigger_policy_, cost_model);
+      if (outcome.invoked) {
+        last_lb_step_ = step;
+        metrics.migrations = outcome.report.cost.migration_count;
+        metrics.t_lb = outcome.lb_cost_seconds;
+        result.totals.migrations += outcome.report.cost.migration_count;
+        result.totals.migration_bytes +=
+            outcome.report.migration_payload_bytes;
+      }
+    } else if (is_lb_step(step, metrics.imbalance)) {
       last_lb_step_ = step;
       auto const input =
           lb::LbManager::gather_input(instrumentation_, mesh_.num_ranks());

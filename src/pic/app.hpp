@@ -60,6 +60,11 @@ struct PicConfig {
   /// Minimum steps between adaptive-trigger invocations (hysteresis so a
   /// persistent residual imbalance cannot thrash the balancer).
   int lb_trigger_cooldown = 10;
+  /// Trigger-policy spec (policy::make_policy: "always", "every-<k>",
+  /// "threshold-<λ>", "costbenefit", ...). When non-empty it replaces the
+  /// periodic schedule and imbalance trigger entirely: the policy sees
+  /// every step's measured loads and decides invoke-or-skip itself.
+  std::string policy;
   std::uint64_t seed = 0xE3;
   int runtime_threads = 1;
 };
@@ -154,6 +159,8 @@ private:
   rt::ObjectStore store_;
   rt::PhaseInstrumentation instrumentation_;
   std::unique_ptr<lb::LbManager> lb_manager_; ///< null when not balancing
+  /// Non-null when config_.policy selects adaptive invocation.
+  std::unique_ptr<policy::TriggerPolicy> trigger_policy_;
   BDotScenario scenario_;
   Rng rng_;
   /// Previous step's per-color work, for the persistence metric.

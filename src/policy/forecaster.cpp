@@ -1,0 +1,112 @@
+#include "policy/forecaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tlb::policy {
+
+namespace {
+
+/// Weight of the newest error observation in the trailing EMA.
+constexpr double kErrorEmaAlpha = 0.3;
+
+} // namespace
+
+double forecast_imbalance(std::span<double const> loads) {
+  if (loads.empty()) {
+    return 0.0;
+  }
+  double max = 0.0;
+  double sum = 0.0;
+  for (double const l : loads) {
+    max = std::max(max, l);
+    sum += l;
+  }
+  double const avg = sum / static_cast<double>(loads.size());
+  return avg > 0.0 ? max / avg - 1.0 : 0.0;
+}
+
+Forecaster::Forecaster(std::unique_ptr<LoadModel> model, std::size_t window)
+    : model_{std::move(model)}, window_{window} {
+  TLB_EXPECTS(model_ != nullptr);
+  TLB_EXPECTS(window_ >= 2);
+}
+
+void Forecaster::observe(std::span<double const> loads) {
+  TLB_EXPECTS(!loads.empty());
+  if (history_.empty()) {
+    history_.resize(loads.size());
+  }
+  TLB_EXPECTS(history_.size() == loads.size());
+
+  // Score the forecast issued for this phase, if one is pending.
+  if (!pending_forecast_.empty()) {
+    double abs_err = 0.0;
+    double total = 0.0;
+    for (std::size_t r = 0; r < loads.size(); ++r) {
+      abs_err += std::abs(pending_forecast_[r] - loads[r]);
+      total += loads[r];
+    }
+    constexpr double kEps = 1e-12;
+    last_error_ = abs_err / std::max(total, kEps);
+    error_ema_ = scored_ == 0 ? last_error_
+                              : kErrorEmaAlpha * last_error_ +
+                                    (1.0 - kErrorEmaAlpha) * error_ema_;
+    ++scored_;
+    pending_forecast_.clear();
+  }
+
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    auto& series = history_[r];
+    if (series.size() == window_) {
+      series.erase(series.begin());
+    }
+    series.push_back(loads[r]);
+  }
+  ++observations_;
+}
+
+void Forecaster::rebase(std::span<double const> loads) {
+  if (history_.empty()) {
+    return;
+  }
+  TLB_EXPECTS(history_.size() == loads.size());
+  for (std::size_t r = 0; r < loads.size(); ++r) {
+    if (!history_[r].empty()) {
+      history_[r].back() = loads[r];
+    }
+  }
+}
+
+Forecast Forecaster::predict() {
+  Forecast f;
+  if (history_.empty()) {
+    return f;
+  }
+  f.loads.reserve(history_.size());
+  double sum = 0.0;
+  for (auto const& series : history_) {
+    double const p = model_->predict(series);
+    f.loads.push_back(p);
+    f.load_max = std::max(f.load_max, p);
+    sum += p;
+  }
+  f.load_avg = sum / static_cast<double>(f.loads.size());
+  f.imbalance = f.load_avg > 0.0 ? f.load_max / f.load_avg - 1.0 : 0.0;
+  f.valid = true;
+  pending_forecast_ = f.loads;
+  return f;
+}
+
+void Forecaster::clear() {
+  history_.clear();
+  pending_forecast_.clear();
+  last_error_ = 0.0;
+  error_ema_ = 0.0;
+  scored_ = 0;
+  observations_ = 0;
+}
+
+} // namespace tlb::policy

@@ -1,0 +1,155 @@
+#include "policy/load_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace tlb::policy {
+
+namespace {
+
+[[nodiscard]] double clamp_load(double v) { return v < 0.0 ? 0.0 : v; }
+
+/// Mean squared one-step error of predicting y[t] = y[t-1] over the
+/// window — the baseline every other model must beat.
+[[nodiscard]] double persistence_mse(std::span<double const> h) {
+  if (h.size() < 2) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (std::size_t t = 1; t < h.size(); ++t) {
+    double const e = h[t] - h[t - 1];
+    sum += e * e;
+  }
+  return sum / static_cast<double>(h.size() - 1);
+}
+
+} // namespace
+
+double PersistenceModel::predict(std::span<double const> history) const {
+  return history.empty() ? 0.0 : clamp_load(history.back());
+}
+
+EmaModel::EmaModel(double alpha) : alpha_{alpha} {
+  TLB_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+double EmaModel::predict(std::span<double const> history) const {
+  if (history.empty()) {
+    return 0.0;
+  }
+  double ema = history.front();
+  for (std::size_t t = 1; t < history.size(); ++t) {
+    ema = alpha_ * history[t] + (1.0 - alpha_) * ema;
+  }
+  return clamp_load(ema);
+}
+
+double LinearTrendModel::predict(std::span<double const> history) const {
+  auto const n = history.size();
+  if (n < 2) {
+    return n == 1 ? clamp_load(history.front()) : 0.0;
+  }
+  // OLS over t = 0..n-1; predict at t = n. With x equally spaced the
+  // normal equations reduce to the closed form below.
+  double const nd = static_cast<double>(n);
+  double const x_mean = (nd - 1.0) / 2.0;
+  double y_mean = 0.0;
+  for (double const y : history) {
+    y_mean += y;
+  }
+  y_mean /= nd;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    double const dx = static_cast<double>(t) - x_mean;
+    sxy += dx * (history[t] - y_mean);
+    sxx += dx * dx;
+  }
+  double const slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  return clamp_load(y_mean + slope * (nd - x_mean));
+}
+
+PeriodicModel::PeriodicModel(int min_cycles) : min_cycles_{min_cycles} {
+  TLB_EXPECTS(min_cycles >= 1);
+}
+
+std::size_t PeriodicModel::detect_period(
+    std::span<double const> history) const {
+  auto const n = history.size();
+  if (n < 4) {
+    return 0;
+  }
+  double const baseline = persistence_mse(history);
+  std::size_t best_period = 0;
+  double best_mse = baseline;
+  auto const max_period = n / static_cast<std::size_t>(min_cycles_ + 1);
+  for (std::size_t p = 2; p <= max_period; ++p) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t t = p; t < n; ++t) {
+      double const e = history[t] - history[t - p];
+      sum += e * e;
+      ++count;
+    }
+    if (count == 0) {
+      continue;
+    }
+    double const mse = sum / static_cast<double>(count);
+    // Strictly better than both the baseline and any shorter period: ties
+    // prefer the shortest period (a period-p series also matches 2p).
+    if (mse < best_mse) {
+      best_mse = mse;
+      best_period = p;
+    }
+  }
+  return best_period;
+}
+
+double PeriodicModel::predict(std::span<double const> history) const {
+  auto const n = history.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  auto const period = detect_period(history);
+  if (period == 0) {
+    return clamp_load(history.back());
+  }
+  // Seasonal value one period back, corrected by the mean drift across
+  // periods so a swing riding a ramp is not systematically lagged.
+  double const seasonal = history[n - period];
+  double drift = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = period; t < n; ++t) {
+    drift += history[t] - history[t - period];
+    ++count;
+  }
+  if (count > 0) {
+    drift /= static_cast<double>(count);
+  }
+  return clamp_load(seasonal + drift);
+}
+
+std::unique_ptr<LoadModel> make_load_model(std::string_view name) {
+  if (name == "persistence") {
+    return std::make_unique<PersistenceModel>();
+  }
+  if (name == "ema") {
+    return std::make_unique<EmaModel>();
+  }
+  if (name == "trend") {
+    return std::make_unique<LinearTrendModel>();
+  }
+  if (name == "periodic") {
+    return std::make_unique<PeriodicModel>();
+  }
+  throw std::invalid_argument("unknown load model: " + std::string{name});
+}
+
+std::vector<std::string_view> load_model_names() {
+  return {"persistence", "ema", "trend", "periodic"};
+}
+
+} // namespace tlb::policy

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file load_model.hpp
+/// Per-rank load-history models for the adaptive LB invocation policy.
+/// A LoadModel is a pure predictor: given the observed history of one
+/// rank's per-phase load (oldest first), it predicts the next phase's
+/// load. The Forecaster (forecaster.hpp) applies one model across every
+/// rank's series to obtain the predicted load vector and imbalance λ̂
+/// that the trigger policies (trigger_policy.hpp) act on.
+///
+/// Models are deliberately stateless — all state lives in the history
+/// window the Forecaster owns — so a model is trivially deterministic
+/// and can be re-run against any slice of history (the forecast-error
+/// property tests in tests/policy rely on this).
+///
+/// The model set follows Boulmier et al. (arXiv:1909.07168), which shows
+/// forecast-driven invocation beating fixed-period policies when the
+/// workload's evolution is predictable:
+///   persistence — next = last (the principle-of-persistence baseline
+///                 every phase-based balancer already assumes, §III-B)
+///   ema         — exponentially weighted average; damps noise on
+///                 stationary-but-noisy series
+///   trend       — least-squares linear extrapolation; wins on ramps
+///   periodic    — seasonal detector: finds the dominant period in the
+///                 window and predicts the value one period back
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace tlb::policy {
+
+/// Pure next-value predictor over one load series.
+class LoadModel {
+public:
+  LoadModel() = default;
+  virtual ~LoadModel() = default;
+  LoadModel(LoadModel const&) = delete;
+  LoadModel& operator=(LoadModel const&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Predict the next value of a series (oldest first). An empty history
+  /// predicts 0. Predictions are clamped to be non-negative — loads are
+  /// nonnegative by construction.
+  [[nodiscard]] virtual double predict(std::span<double const> history)
+      const = 0;
+};
+
+/// next = last observation.
+class PersistenceModel final : public LoadModel {
+public:
+  [[nodiscard]] std::string_view name() const override {
+    return "persistence";
+  }
+  [[nodiscard]] double predict(std::span<double const> history) const override;
+};
+
+/// Exponential moving average with smoothing factor `alpha` (weight of the
+/// newest observation).
+class EmaModel final : public LoadModel {
+public:
+  explicit EmaModel(double alpha = 0.4);
+  [[nodiscard]] std::string_view name() const override { return "ema"; }
+  [[nodiscard]] double predict(std::span<double const> history) const override;
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+private:
+  double alpha_;
+};
+
+/// Ordinary least-squares line over the window, evaluated one step past
+/// the end. Falls back to persistence with fewer than two observations.
+class LinearTrendModel final : public LoadModel {
+public:
+  [[nodiscard]] std::string_view name() const override { return "trend"; }
+  [[nodiscard]] double predict(std::span<double const> history) const override;
+};
+
+/// Seasonal predictor: scans candidate periods p in [2, |history|/2] and
+/// scores each by the mean squared error of y[t] vs y[t-p] over the
+/// window. If the best period beats the persistence baseline's error, the
+/// prediction is the observation one period back (plus the window's mean
+/// drift per period, so a seasonal series riding on a slow ramp is not
+/// systematically lagged); otherwise it degrades to persistence.
+class PeriodicModel final : public LoadModel {
+public:
+  /// \param min_cycles  How many full cycles the window must contain
+  ///                    before a period is trusted (guards against locking
+  ///                    onto noise in short histories).
+  explicit PeriodicModel(int min_cycles = 2);
+  [[nodiscard]] std::string_view name() const override { return "periodic"; }
+  [[nodiscard]] double predict(std::span<double const> history) const override;
+
+  /// The detected period for a series, or 0 when no candidate beats the
+  /// persistence baseline (exposed for the lock-on property tests).
+  [[nodiscard]] std::size_t detect_period(
+      std::span<double const> history) const;
+
+private:
+  int min_cycles_;
+};
+
+/// Factory over the model names above ("persistence", "ema", "trend",
+/// "periodic"). Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<LoadModel> make_load_model(
+    std::string_view name);
+
+/// Names accepted by make_load_model.
+[[nodiscard]] std::vector<std::string_view> load_model_names();
+
+} // namespace tlb::policy

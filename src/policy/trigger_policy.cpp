@@ -1,0 +1,217 @@
+#include "policy/trigger_policy.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+#include "support/assert.hpp"
+
+namespace tlb::policy {
+
+namespace {
+
+[[nodiscard]] double parse_suffix_double(std::string_view spec,
+                                         std::string_view prefix) {
+  auto const suffix = spec.substr(prefix.size());
+  double value = 0.0;
+  auto const [ptr, ec] =
+      std::from_chars(suffix.data(), suffix.data() + suffix.size(), value);
+  if (ec != std::errc{} || ptr != suffix.data() + suffix.size()) {
+    throw std::invalid_argument("bad policy parameter in spec: " +
+                                std::string{spec});
+  }
+  return value;
+}
+
+} // namespace
+
+void TriggerPolicy::record_outcome(bool /*invoked*/,
+                                   double /*lb_cost_seconds*/,
+                                   std::span<double const> /*loads_after*/) {}
+
+// ---------------------------------------------------------------------
+// Always / Never
+// ---------------------------------------------------------------------
+
+Decision AlwaysPolicy::decide(std::uint64_t /*phase*/,
+                              std::span<double const> loads) {
+  Decision d;
+  d.invoke = true;
+  d.reason = "unconditional";
+  d.forecast_imbalance = forecast_imbalance(loads);
+  return d;
+}
+
+Decision NeverPolicy::decide(std::uint64_t /*phase*/,
+                             std::span<double const> loads) {
+  Decision d;
+  d.invoke = false;
+  d.reason = "disabled";
+  d.forecast_imbalance = forecast_imbalance(loads);
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// Every-k
+// ---------------------------------------------------------------------
+
+EveryKPolicy::EveryKPolicy(std::uint64_t k)
+    : k_{k}, name_{"every-" + std::to_string(k)} {
+  TLB_EXPECTS(k >= 1);
+}
+
+Decision EveryKPolicy::decide(std::uint64_t /*phase*/,
+                              std::span<double const> loads) {
+  Decision d;
+  d.forecast_imbalance = forecast_imbalance(loads);
+  if (first_ || since_last_ + 1 >= k_) {
+    d.invoke = true;
+    d.reason = "period elapsed";
+    first_ = false;
+    since_last_ = 0;
+  } else {
+    d.reason = "inside period";
+    ++since_last_;
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// λ-threshold
+// ---------------------------------------------------------------------
+
+ThresholdPolicy::ThresholdPolicy(double lambda_threshold)
+    : threshold_{lambda_threshold},
+      forecaster_{make_load_model("persistence")},
+      name_{"threshold-" + std::to_string(lambda_threshold).substr(0, 4)} {
+  TLB_EXPECTS(lambda_threshold >= 0.0);
+}
+
+Decision ThresholdPolicy::decide(std::uint64_t /*phase*/,
+                                 std::span<double const> loads) {
+  forecaster_.observe(loads);
+  auto const forecast = forecaster_.predict();
+  Decision d;
+  d.forecast_imbalance = forecast.imbalance;
+  d.forecast_error = forecaster_.error_ema();
+  d.invoke = forecast.imbalance > threshold_;
+  d.reason = d.invoke ? "lambda above threshold" : "lambda below threshold";
+  return d;
+}
+
+void ThresholdPolicy::record_outcome(bool /*invoked*/,
+                                     double /*lb_cost_seconds*/,
+                                     std::span<double const> /*loads_after*/) {
+}
+
+// ---------------------------------------------------------------------
+// Cost/benefit
+// ---------------------------------------------------------------------
+
+CostBenefitPolicy::CostBenefitPolicy(Params params)
+    : params_{std::move(params)},
+      forecaster_{make_load_model(params_.model), params_.window},
+      name_{"costbenefit-" + params_.model} {}
+
+Decision CostBenefitPolicy::decide(std::uint64_t /*phase*/,
+                                   std::span<double const> loads) {
+  forecaster_.observe(loads);
+  auto const forecast = forecaster_.predict();
+
+  Decision d;
+  d.forecast_imbalance = forecast.imbalance;
+  d.forecast_error = forecaster_.error_ema();
+  d.predicted_cost = std::max(cost_ema_, 0.0);
+
+  // Seconds the slowest rank sheds next phase under perfect balance — the
+  // per-phase benefit of invoking now, by the persistence principle.
+  double const gain_next =
+      std::max(0.0, forecast.load_max - forecast.load_avg);
+
+  if (forecast.imbalance < params_.lambda_floor) {
+    // Balanced (or noise-level) forecast: nothing to gain. The
+    // accumulator is intentionally left alone — a paused drift resumes
+    // where it left off.
+    d.reason = "forecast balanced";
+    d.predicted_gain = accumulated_gain_;
+    return d;
+  }
+
+  accumulated_gain_ += gain_next;
+  d.predicted_gain = accumulated_gain_;
+
+  if (cost_ema_ < 0.0) {
+    // No cost measurement yet: invoke once to obtain one (the forecast
+    // says there is something to balance, so the phase is not wasted).
+    d.invoke = true;
+    d.reason = "probing lb cost";
+    return d;
+  }
+  if (accumulated_gain_ > cost_ema_) {
+    d.invoke = true;
+    d.reason = "gain exceeds cost";
+    return d;
+  }
+  d.reason = "gain below cost";
+  return d;
+}
+
+void CostBenefitPolicy::record_outcome(bool invoked, double lb_cost_seconds,
+                                       std::span<double const> loads_after) {
+  if (!invoked) {
+    return;
+  }
+  accumulated_gain_ = 0.0;
+  cost_ema_ = cost_ema_ < 0.0
+                  ? lb_cost_seconds
+                  : params_.cost_ema_alpha * lb_cost_seconds +
+                        (1.0 - params_.cost_ema_alpha) * cost_ema_;
+  if (!loads_after.empty()) {
+    // The placement just changed: re-seed the newest history point with
+    // the projected post-LB loads so the next forecast extrapolates from
+    // the state the next phase will actually start in.
+    forecaster_.rebase(loads_after);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+std::unique_ptr<TriggerPolicy> make_policy(std::string_view spec) {
+  if (spec == "always") {
+    return std::make_unique<AlwaysPolicy>();
+  }
+  if (spec == "never") {
+    return std::make_unique<NeverPolicy>();
+  }
+  if (spec.rfind("every-", 0) == 0) {
+    auto const k = parse_suffix_double(spec, "every-");
+    if (k < 1.0) {
+      throw std::invalid_argument("every-k needs k >= 1: " +
+                                  std::string{spec});
+    }
+    return std::make_unique<EveryKPolicy>(static_cast<std::uint64_t>(k));
+  }
+  if (spec.rfind("threshold-", 0) == 0) {
+    return std::make_unique<ThresholdPolicy>(
+        parse_suffix_double(spec, "threshold-"));
+  }
+  if (spec == "costbenefit") {
+    return std::make_unique<CostBenefitPolicy>();
+  }
+  if (spec.rfind("costbenefit-", 0) == 0) {
+    CostBenefitPolicy::Params params;
+    params.model = std::string{spec.substr(std::string_view{"costbenefit-"}
+                                               .size())};
+    (void)make_load_model(params.model); // validate the model name now
+    return std::make_unique<CostBenefitPolicy>(std::move(params));
+  }
+  throw std::invalid_argument("unknown policy spec: " + std::string{spec});
+}
+
+std::vector<std::string_view> policy_specs() {
+  return {"always", "never", "every-4", "threshold-0.5", "costbenefit"};
+}
+
+} // namespace tlb::policy

@@ -1,0 +1,105 @@
+#include "workload/policy_sim.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "policy/trigger_policy.hpp"
+#include "runtime/runtime.hpp"
+#include "support/stats.hpp"
+
+namespace tlb::workload {
+
+SimResult run_policy_sim(SimConfig const& config) {
+  auto const scenario = make_scenario(config.scenario);
+  return run_policy_sim(config, *scenario);
+}
+
+SimResult run_policy_sim(SimConfig const& config, Scenario const& scenario) {
+  SimResult res;
+  res.scenario = std::string{scenario.name()};
+  res.policy = config.policy;
+  res.strategy = config.strategy;
+  res.phases = config.scenario.phases;
+
+  auto policy = policy::make_policy(config.policy);
+  ScenarioWorkload const workload{scenario, config.tasks_per_rank,
+                                  config.scenario.seed, config.base_load};
+
+  rt::RuntimeConfig rt_config;
+  rt_config.num_ranks = scenario.num_ranks();
+  rt_config.seed = config.scenario.seed;
+  rt::Runtime runtime{rt_config};
+
+  auto params = lb::LbParams::tempered();
+  params.seed = derive_seed(config.scenario.seed, kLbSeedStreamTag);
+  // Modest gossip effort: sweeps run many (scenario, policy) cells, and
+  // the decision dynamics, not LB quality, are under study here.
+  params.num_trials = 2;
+  params.num_iterations = 2;
+  params.rounds = 4;
+  lb::LbManager manager{runtime, config.strategy, params};
+
+  rt::ObjectStore store{scenario.num_ranks()};
+  workload.populate(store, config.payload_bytes);
+
+  double imbalance_sum = 0.0;
+  double error_sum = 0.0;
+  std::size_t error_count = 0;
+  res.decisions.reserve(res.phases);
+  for (std::uint64_t phase = 0; phase < res.phases; ++phase) {
+    // The phase runs with whatever placement the last invocation left.
+    auto const input = workload.measure(phase, store);
+    auto const loads = input.rank_loads();
+    res.work_seconds += *std::max_element(loads.begin(), loads.end());
+    imbalance_sum += imbalance(loads);
+
+    // Phase boundary: the policy sees this phase's measurement and
+    // decides whether the balancer runs before the next one.
+    auto const outcome =
+        manager.invoke_if_beneficial(input, store, *policy,
+                                     config.cost_model);
+    res.lb_seconds += outcome.lb_cost_seconds;
+    res.decisions += outcome.invoked ? 'I' : 'S';
+    if (outcome.invoked) {
+      ++res.invocations;
+    }
+    if (outcome.decision.forecast_imbalance != 0.0 ||
+        outcome.decision.forecast_error != 0.0) {
+      error_sum += outcome.decision.forecast_error;
+      ++error_count;
+    }
+  }
+  if (res.phases > 0) {
+    res.mean_imbalance = imbalance_sum / static_cast<double>(res.phases);
+  }
+  if (error_count > 0) {
+    res.mean_forecast_error = error_sum / static_cast<double>(error_count);
+  }
+  return res;
+}
+
+void write_sim_json(std::ostream& os, std::span<SimResult const> results) {
+  obs::JsonWriter w{os};
+  w.begin_object();
+  w.key("sweep").begin_array();
+  for (SimResult const& r : results) {
+    w.begin_object();
+    w.kv("scenario", r.scenario);
+    w.kv("policy", r.policy);
+    w.kv("strategy", r.strategy);
+    w.kv("phases", static_cast<unsigned long long>(r.phases));
+    w.kv("invocations", static_cast<unsigned long long>(r.invocations));
+    w.kv("work_seconds", r.work_seconds);
+    w.kv("lb_seconds", r.lb_seconds);
+    w.kv("total_seconds", r.total_seconds());
+    w.kv("mean_imbalance", r.mean_imbalance);
+    w.kv("mean_forecast_error", r.mean_forecast_error);
+    w.kv("decisions", r.decisions);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+} // namespace tlb::workload

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file policy_sim.hpp
+/// The policy × scenario experiment harness: run one time-varying
+/// scenario end to end — phase work, trigger decision, (possibly) an LB
+/// invocation with real migrations through an ObjectStore — and account
+/// total wall-clock as phase makespans plus modeled LB cost. This is the
+/// M7 experiment's engine and the acceptance check's measurement: a
+/// trigger policy is only worth having if it beats always-invoke on the
+/// scenarios with calm stretches and stays within a few percent of the
+/// best fixed policy everywhere else.
+///
+/// Timing model (per phase): the phase's work time is its makespan — the
+/// maximum per-rank load under the placement the phase actually ran with —
+/// and each LB invocation adds LbCostModel seconds derived from its
+/// measured protocol/migration traffic. Deterministic end to end: same
+/// SimConfig, same SimResult, byte for byte.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "lb/strategy/lb_manager.hpp"
+#include "workload/scenario.hpp"
+
+namespace tlb::workload {
+
+struct SimConfig {
+  ScenarioSpec scenario;
+  /// Trigger policy spec (policy::make_policy).
+  std::string policy = "costbenefit";
+  /// LB strategy (lb::make_strategy). Greedy keeps sweeps fast; the
+  /// gossip strategies exercise real protocol traffic.
+  std::string strategy = "greedy";
+  std::size_t tasks_per_rank = 16;
+  /// Mean task weight in simulated seconds. Milliseconds-scale tasks put
+  /// phase makespans and LB costs on comparable footing, which is the
+  /// regime where the invocation decision matters at all.
+  double base_load = 1.0e-3;
+  std::size_t payload_bytes = 4096;
+  /// Modeled cost of one LB invocation. The default fixed term stands in
+  /// for the global synchronization a real invocation requires; without
+  /// it a centralized strategy's traffic cost is so small that
+  /// always-invoke trivially dominates and there is nothing to decide.
+  lb::LbCostModel cost_model{2.0e-6, 5.0e-10, 4.0e-9, 4.0e-3};
+};
+
+struct SimResult {
+  std::string scenario;
+  std::string policy;
+  std::string strategy;
+  std::size_t phases = 0;
+  std::size_t invocations = 0;
+  /// Sum over phases of the makespan the phase ran with.
+  double work_seconds = 0.0;
+  /// Sum of modeled LB invocation costs.
+  double lb_seconds = 0.0;
+  /// Mean measured pre-decision imbalance λ across phases.
+  double mean_imbalance = 0.0;
+  /// Mean forecaster relative error over decisions that forecast (0 when
+  /// the policy never forecasts).
+  double mean_forecast_error = 0.0;
+  /// One char per phase: 'I' invoked, 'S' skipped. The golden decision
+  /// sequence the determinism test pins.
+  std::string decisions;
+
+  [[nodiscard]] double total_seconds() const {
+    return work_seconds + lb_seconds;
+  }
+};
+
+/// Run one (scenario, policy) simulation. Builds the scenario from
+/// config.scenario via make_scenario.
+[[nodiscard]] SimResult run_policy_sim(SimConfig const& config);
+
+/// Same, over an externally built scenario (e.g. a trace replay); ignores
+/// config.scenario.name.
+[[nodiscard]] SimResult run_policy_sim(SimConfig const& config,
+                                       Scenario const& scenario);
+
+/// Write results as {"sweep": [{...}, ...]} — the M7 artifact schema.
+void write_sim_json(std::ostream& os, std::span<SimResult const> results);
+
+} // namespace tlb::workload

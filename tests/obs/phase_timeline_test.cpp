@@ -109,6 +109,89 @@ TEST(PhaseTimeline, JsonExportParsesBackWithAllFields) {
 }
 
 // ---------------------------------------------------------------------
+// Truncated per-rank snapshots and the decision fields
+// ---------------------------------------------------------------------
+
+TEST(SnapshotLoads, KeepsTopKAndSumsTheRest) {
+  PhaseSample s;
+  snapshot_loads(s, std::vector<double>{1.0, 5.0, 2.0, 4.0, 3.0}, 2);
+  EXPECT_EQ(s.snapshot_ranks, 5u);
+  ASSERT_EQ(s.top_loads.size(), 2u);
+  EXPECT_EQ(s.top_loads[0].rank, 1);
+  EXPECT_DOUBLE_EQ(s.top_loads[0].load, 5.0);
+  EXPECT_EQ(s.top_loads[1].rank, 3);
+  EXPECT_DOUBLE_EQ(s.top_loads[1].load, 4.0);
+  EXPECT_DOUBLE_EQ(s.rest_load_sum, 1.0 + 2.0 + 3.0);
+}
+
+TEST(SnapshotLoads, BreaksLoadTiesByLowestRank) {
+  PhaseSample s;
+  snapshot_loads(s, std::vector<double>{2.0, 3.0, 3.0, 3.0}, 2);
+  ASSERT_EQ(s.top_loads.size(), 2u);
+  EXPECT_EQ(s.top_loads[0].rank, 1);
+  EXPECT_EQ(s.top_loads[1].rank, 2);
+}
+
+TEST(SnapshotLoads, KLargerThanRanksKeepsEverything) {
+  PhaseSample s;
+  snapshot_loads(s, std::vector<double>{1.0, 2.0}, 8);
+  EXPECT_EQ(s.snapshot_ranks, 2u);
+  ASSERT_EQ(s.top_loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rest_load_sum, 0.0);
+}
+
+TEST(SnapshotLoads, KZeroRecordsOnlyTheTotal) {
+  PhaseSample s;
+  snapshot_loads(s, std::vector<double>{1.0, 2.0, 3.0}, 0);
+  EXPECT_EQ(s.snapshot_ranks, 3u);
+  EXPECT_TRUE(s.top_loads.empty());
+  EXPECT_DOUBLE_EQ(s.rest_load_sum, 6.0);
+}
+
+TEST(PhaseTimeline, SnapshotTopKIsConfigurable) {
+  PhaseTimeline timeline{2};
+  EXPECT_EQ(timeline.snapshot_top_k(), 8u);
+  timeline.set_snapshot_top_k(3);
+  EXPECT_EQ(timeline.snapshot_top_k(), 3u);
+  timeline.clear(); // clear() resets samples, not the configured k
+  EXPECT_EQ(timeline.snapshot_top_k(), 3u);
+}
+
+TEST(PhaseTimeline, JsonExportCarriesDecisionAndSnapshotFields) {
+  PhaseTimeline timeline{4};
+  auto s = sample(5);
+  s.lb_invoked = false;
+  s.policy = "costbenefit-persistence";
+  s.decision_reason = "gain below cost";
+  s.forecast_imbalance = 0.75;
+  s.forecast_error = 0.125;
+  s.predicted_gain = 0.5;
+  s.predicted_cost = 2.0;
+  snapshot_loads(s, std::vector<double>{4.0, 1.0, 2.0}, 2);
+  timeline.record(s);
+
+  std::ostringstream os;
+  timeline.write_json(os);
+  auto const doc = test::parse_json(os.str());
+  auto const& entry = doc.at("timeline").array().at(0);
+  EXPECT_FALSE(entry.at("lb_invoked").boolean());
+  EXPECT_EQ(entry.at("policy").str(), "costbenefit-persistence");
+  EXPECT_EQ(entry.at("reason").str(), "gain below cost");
+  EXPECT_EQ(entry.at("forecast_imbalance").num(), 0.75);
+  EXPECT_EQ(entry.at("forecast_error").num(), 0.125);
+  EXPECT_EQ(entry.at("predicted_gain").num(), 0.5);
+  EXPECT_EQ(entry.at("predicted_cost").num(), 2.0);
+  EXPECT_EQ(entry.at("snapshot_ranks").num(), 3.0);
+  EXPECT_EQ(entry.at("rest_load_sum").num(), 1.0);
+  auto const& top = entry.at("top_loads").array();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].at("rank").num(), 0.0);
+  EXPECT_EQ(top[0].at("load").num(), 4.0);
+  EXPECT_EQ(top[1].at("rank").num(), 2.0);
+  EXPECT_EQ(top[1].at("load").num(), 2.0);
+}
+
+// ---------------------------------------------------------------------
 // LbManager feeds the process-wide timeline when telemetry is enabled
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,101 @@
+/// \file forecaster_test.cpp
+/// The Forecaster's contracts: per-rank history management, forecast
+/// validity, self-scoring (relative L1 error + EMA), and the post-LB
+/// rebase that re-seeds the newest history point.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "policy/forecaster.hpp"
+
+namespace tlb::policy {
+namespace {
+
+TEST(Forecaster, InvalidBeforeAnyObservation) {
+  Forecaster f{make_load_model("persistence")};
+  auto const forecast = f.predict();
+  EXPECT_FALSE(forecast.valid);
+  EXPECT_TRUE(forecast.loads.empty());
+}
+
+TEST(Forecaster, PersistencePredictsTheLastObservation) {
+  Forecaster f{make_load_model("persistence")};
+  f.observe(std::vector<double>{1.0, 2.0, 3.0});
+  f.observe(std::vector<double>{2.0, 4.0, 6.0});
+  auto const forecast = f.predict();
+  ASSERT_TRUE(forecast.valid);
+  EXPECT_EQ(forecast.loads, (std::vector<double>{2.0, 4.0, 6.0}));
+  EXPECT_DOUBLE_EQ(forecast.load_max, 6.0);
+  EXPECT_DOUBLE_EQ(forecast.load_avg, 4.0);
+  EXPECT_DOUBLE_EQ(forecast.imbalance, 0.5);
+}
+
+TEST(Forecaster, ScoresThePreviousForecast) {
+  Forecaster f{make_load_model("persistence")};
+  f.observe(std::vector<double>{2.0, 2.0});
+  (void)f.predict(); // forecast {2, 2}
+  // Measured exactly as forecast: zero error.
+  f.observe(std::vector<double>{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.last_error(), 0.0);
+  (void)f.predict();
+  // Measured {3, 1}: relative L1 error = (1 + 1) / 4 = 0.5.
+  f.observe(std::vector<double>{3.0, 1.0});
+  EXPECT_NEAR(f.last_error(), 0.5, 1e-12);
+  EXPECT_GT(f.error_ema(), 0.0);
+}
+
+TEST(Forecaster, UnscoredPhasesDoNotCountAsErrors) {
+  Forecaster f{make_load_model("persistence")};
+  // observe without predict between: nothing pending, nothing scored.
+  f.observe(std::vector<double>{1.0});
+  f.observe(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(f.last_error(), 0.0);
+  EXPECT_EQ(f.observations(), 2u);
+}
+
+TEST(Forecaster, RebaseReplacesTheNewestPoint) {
+  Forecaster f{make_load_model("persistence")};
+  f.observe(std::vector<double>{9.0, 1.0});
+  f.rebase(std::vector<double>{5.0, 5.0});
+  auto const forecast = f.predict();
+  ASSERT_TRUE(forecast.valid);
+  EXPECT_EQ(forecast.loads, (std::vector<double>{5.0, 5.0}));
+  EXPECT_DOUBLE_EQ(forecast.imbalance, 0.0);
+}
+
+TEST(Forecaster, RebaseOnEmptyHistoryIsANoOp) {
+  Forecaster f{make_load_model("persistence")};
+  f.rebase(std::vector<double>{1.0, 2.0});
+  EXPECT_FALSE(f.predict().valid);
+}
+
+TEST(Forecaster, WindowBoundsTheHistory) {
+  Forecaster f{make_load_model("trend"), 4};
+  // A long v-shape: with an unbounded window the early descent would drag
+  // the fitted slope down; the 4-wide window sees only the ascent.
+  for (double v : {9.0, 7.0, 5.0, 3.0, 1.0, 2.0, 3.0, 4.0}) {
+    f.observe(std::vector<double>{v});
+  }
+  auto const forecast = f.predict();
+  ASSERT_TRUE(forecast.valid);
+  EXPECT_NEAR(forecast.loads[0], 5.0, 1e-9);
+}
+
+TEST(Forecaster, ClearForgetsEverything) {
+  Forecaster f{make_load_model("persistence")};
+  f.observe(std::vector<double>{1.0});
+  f.clear();
+  EXPECT_FALSE(f.predict().valid);
+  EXPECT_EQ(f.observations(), 0u);
+}
+
+TEST(ForecastImbalance, MatchesTheLambdaDefinition) {
+  EXPECT_DOUBLE_EQ(forecast_imbalance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(forecast_imbalance(std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(forecast_imbalance(std::vector<double>{2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(forecast_imbalance(std::vector<double>{3.0, 1.0}), 0.5);
+}
+
+} // namespace
+} // namespace tlb::policy

@@ -119,5 +119,87 @@ TEST(LbManager, RepeatedInvocationsTrackHistory) {
   EXPECT_NEAR(report.imbalance_after, 0.0, 1e-12);
 }
 
+TEST(LbCostModel, SumsFixedAndTrafficTerms) {
+  LbCostModel const model{2.0, 0.5, 0.25, 10.0};
+  EXPECT_DOUBLE_EQ(model.cost(0, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(model.cost(3, 4, 8), 10.0 + 6.0 + 2.0 + 2.0);
+}
+
+TEST(LbManager, InvokeIfBeneficialSkipIsSideEffectFree) {
+  rt::Runtime rt{config(4)};
+  rt::ObjectStore store{4};
+  StrategyInput input;
+  input.tasks.resize(4);
+  for (TaskId i = 0; i < 8; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+    store.create(0, i, std::make_unique<Chunk>(8));
+  }
+  LbManager manager{rt, "greedy", LbParams::tempered()};
+  auto policy = policy::make_policy("never");
+  auto const outcome = manager.invoke_if_beneficial(input, store, *policy);
+
+  EXPECT_FALSE(outcome.invoked);
+  EXPECT_FALSE(outcome.decision.invoke);
+  EXPECT_DOUBLE_EQ(outcome.lb_cost_seconds, 0.0);
+  // Nothing moved, nothing balanced, nothing in the history.
+  EXPECT_EQ(store.tasks_on(0).size(), 8u);
+  EXPECT_TRUE(manager.history().empty());
+  EXPECT_DOUBLE_EQ(outcome.report.imbalance_after,
+                   outcome.report.imbalance_before);
+  EXPECT_EQ(outcome.report.cost.migration_count, 0u);
+}
+
+TEST(LbManager, InvokeIfBeneficialInvokeBalancesAndPricesTheRun) {
+  rt::Runtime rt{config(4)};
+  rt::ObjectStore store{4};
+  StrategyInput input;
+  input.tasks.resize(4);
+  for (TaskId i = 0; i < 8; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+    store.create(0, i, std::make_unique<Chunk>(16));
+  }
+  LbManager manager{rt, "greedy", LbParams::tempered()};
+  auto policy = policy::make_policy("always");
+  LbCostModel const cost_model{0.0, 0.0, 1.0e-3, 0.5};
+  auto const outcome =
+      manager.invoke_if_beneficial(input, store, *policy, cost_model);
+
+  EXPECT_TRUE(outcome.invoked);
+  EXPECT_EQ(manager.history().size(), 1u);
+  EXPECT_LT(store.tasks_on(0).size(), 8u);
+  EXPECT_LT(outcome.report.imbalance_after, outcome.report.imbalance_before);
+  // Priced through the model: fixed term plus the measured payload bytes.
+  EXPECT_DOUBLE_EQ(
+      outcome.lb_cost_seconds,
+      0.5 + 1.0e-3 * static_cast<double>(
+                         outcome.report.migration_payload_bytes));
+  // The projected post-LB loads ride along for the policy's rebase.
+  ASSERT_EQ(outcome.report.new_rank_loads.size(), 4u);
+}
+
+TEST(LbManager, PhaseNumberingAdvancesAcrossSkips) {
+  rt::Runtime rt{config(2)};
+  rt::ObjectStore store{2};
+  StrategyInput input;
+  input.tasks.resize(2);
+  for (TaskId i = 0; i < 4; ++i) {
+    input.tasks[0].push_back({i, 1.0});
+    store.create(0, i, std::make_unique<Chunk>(8));
+  }
+  LbManager manager{rt, "greedy", LbParams::tempered()};
+  auto never = policy::make_policy("never");
+  auto always = policy::make_policy("always");
+
+  EXPECT_EQ(manager.invoke_if_beneficial(input, store, *never).report.phase,
+            0u);
+  EXPECT_EQ(manager.invoke_if_beneficial(input, store, *never).report.phase,
+            1u);
+  auto const outcome = manager.invoke_if_beneficial(input, store, *always);
+  EXPECT_EQ(outcome.report.phase, 2u);
+  // Skipped phases advance the counter but not the history.
+  EXPECT_EQ(manager.history().size(), 1u);
+  EXPECT_EQ(manager.history().back().phase, 2u);
+}
+
 } // namespace
 } // namespace tlb::lb

@@ -1,0 +1,203 @@
+/// \file policy_sim_test.cpp
+/// The policy × scenario harness: end-to-end determinism, the bracketing
+/// policies (never/always), the M7 acceptance criterion — cost/benefit
+/// beats always-invoke on scenarios with calm stretches and stays within
+/// 5% of the best fixed policy everywhere — checked off the same JSON
+/// artifact the experiment emits, and a seeded 64-rank golden pinning the
+/// cost/benefit invoke/skip sequence per scenario.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_in.hpp"
+#include "policy/trigger_policy.hpp"
+#include "workload/policy_sim.hpp"
+
+namespace tlb::workload {
+namespace {
+
+SimConfig config_for(std::string scenario, std::string policy,
+                     RankId ranks = 16, std::size_t phases = 24) {
+  SimConfig config;
+  config.scenario.name = std::move(scenario);
+  config.scenario.num_ranks = ranks;
+  config.scenario.phases = phases;
+  config.policy = std::move(policy);
+  return config;
+}
+
+std::size_t count_invokes(std::string const& decisions) {
+  return static_cast<std::size_t>(
+      std::count(decisions.begin(), decisions.end(), 'I'));
+}
+
+TEST(PolicySim, IsDeterministic) {
+  auto const config = config_for("bursty", "costbenefit");
+  auto const a = run_policy_sim(config);
+  auto const b = run_policy_sim(config);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.invocations, b.invocations);
+  EXPECT_DOUBLE_EQ(a.work_seconds, b.work_seconds);
+  EXPECT_DOUBLE_EQ(a.lb_seconds, b.lb_seconds);
+  EXPECT_DOUBLE_EQ(a.mean_imbalance, b.mean_imbalance);
+  EXPECT_DOUBLE_EQ(a.mean_forecast_error, b.mean_forecast_error);
+}
+
+TEST(PolicySim, NeverAndAlwaysBracketTheDecisionSpace) {
+  auto const never = run_policy_sim(config_for("hotspot", "never"));
+  EXPECT_EQ(never.invocations, 0u);
+  EXPECT_EQ(never.decisions, std::string(24, 'S'));
+  EXPECT_DOUBLE_EQ(never.lb_seconds, 0.0);
+
+  auto const always = run_policy_sim(config_for("hotspot", "always"));
+  EXPECT_EQ(always.invocations, 24u);
+  EXPECT_EQ(always.decisions, std::string(24, 'I'));
+  EXPECT_GT(always.lb_seconds, 0.0);
+  // On a persistently imbalanced scenario, balancing must reduce the work
+  // time even though it costs LB seconds.
+  EXPECT_LT(always.work_seconds, never.work_seconds);
+}
+
+TEST(PolicySim, CostBenefitInvokesSelectively) {
+  auto const res = run_policy_sim(config_for("bursty", "costbenefit"));
+  // Calm stretches must be skipped and shocks acted on: strictly between
+  // the brackets.
+  EXPECT_GT(res.invocations, 0u);
+  EXPECT_LT(res.invocations, res.phases);
+  EXPECT_EQ(res.invocations, count_invokes(res.decisions));
+  EXPECT_GT(res.mean_forecast_error, 0.0);
+}
+
+/// The M7 sweep: every registered policy across every synthetic scenario
+/// at the experiment's 64-rank scale, validated through the emitted JSON
+/// artifact (the same path EXPERIMENTS.md's recipe uses).
+class PolicySweepM7 : public ::testing::Test {
+protected:
+  static constexpr RankId kRanks = 64;
+  static constexpr std::size_t kPhases = 32;
+
+  static std::vector<SimResult> const& sweep() {
+    static std::vector<SimResult> const results = [] {
+      std::vector<SimResult> out;
+      for (auto const scenario : scenario_names()) {
+        for (auto const policy : policy::policy_specs()) {
+          out.push_back(run_policy_sim(config_for(
+              std::string{scenario}, std::string{policy}, kRanks, kPhases)));
+        }
+      }
+      return out;
+    }();
+    return results;
+  }
+
+  static std::map<std::string, std::map<std::string, double>> totals() {
+    std::map<std::string, std::map<std::string, double>> by_cell;
+    for (auto const& r : sweep()) {
+      by_cell[r.scenario][r.policy] = r.total_seconds();
+    }
+    return by_cell;
+  }
+};
+
+TEST_F(PolicySweepM7, ArtifactRoundTripsAndIsInternallyConsistent) {
+  std::ostringstream os;
+  write_sim_json(os, sweep());
+  auto const doc = obs::parse_json(os.str());
+  auto const& cells = doc.at("sweep").array();
+  ASSERT_EQ(cells.size(),
+            scenario_names().size() * policy::policy_specs().size());
+  for (auto const& cell : cells) {
+    ASSERT_TRUE(cell.is_object());
+    EXPECT_EQ(cell.at("phases").num(), static_cast<double>(kPhases));
+    auto const& decisions = cell.at("decisions").str();
+    EXPECT_EQ(decisions.size(), kPhases);
+    EXPECT_EQ(count_invokes(decisions), cell.at("invocations").num());
+    // The JSON writer rounds doubles to ~10 significant digits.
+    EXPECT_NEAR(cell.at("total_seconds").num(),
+                cell.at("work_seconds").num() + cell.at("lb_seconds").num(),
+                1e-6);
+    EXPECT_GT(cell.at("work_seconds").num(), 0.0);
+    EXPECT_GE(cell.at("mean_imbalance").num(), 0.0);
+  }
+}
+
+TEST_F(PolicySweepM7, CostBenefitBeatsAlwaysOnScenariosWithCalmStretches) {
+  // The acceptance criterion's first half: where the workload has calm or
+  // self-reverting stretches (bursty shocks, the seasonal swing), paying
+  // the LB cost every phase is wasteful and cost/benefit must win
+  // outright on total wall-clock.
+  auto const t = totals();
+  for (std::string const scenario : {"bursty", "periodic"}) {
+    double const cb = t.at(scenario).at("costbenefit");
+    double const always = t.at(scenario).at("always");
+    EXPECT_LT(cb, always) << scenario << ": costbenefit " << cb
+                          << " vs always " << always;
+  }
+}
+
+TEST_F(PolicySweepM7, CostBenefitIsNearTheBestFixedPolicyEverywhere) {
+  // Second half: no scenario may make the adaptive policy regret more
+  // than 5% against the best *fixed* policy for that scenario (which the
+  // adaptive policy does not know in advance).
+  auto const t = totals();
+  for (auto const& [scenario, by_policy] : t) {
+    double best_fixed = std::numeric_limits<double>::infinity();
+    std::string best_name;
+    for (auto const& [policy, total] : by_policy) {
+      if (policy == "costbenefit") {
+        continue;
+      }
+      if (total < best_fixed) {
+        best_fixed = total;
+        best_name = policy;
+      }
+    }
+    double const cb = by_policy.at("costbenefit");
+    EXPECT_LE(cb, 1.05 * best_fixed)
+        << scenario << ": costbenefit " << cb << " vs best fixed ("
+        << best_name << ") " << best_fixed;
+  }
+}
+
+/// Seeded 64-rank golden: the cost/benefit invoke/skip sequence per
+/// scenario is part of the subsystem's observable contract — any drift in
+/// scenarios, forecasting, or the trigger arithmetic shows up here.
+/// Regenerate with TLB_UPDATE_GOLDEN=1 after an intentional change.
+TEST(PolicyDecisionsGolden, Seeded64RankSequencesMatchGoldenFile) {
+  std::string const golden_path = std::string{TLB_SOURCE_DIR} +
+                                  "/tests/workload/golden/policy_decisions_64.txt";
+  std::ostringstream actual;
+  for (auto const scenario : scenario_names()) {
+    auto const res = run_policy_sim(
+        config_for(std::string{scenario}, "costbenefit", 64, 32));
+    actual << res.scenario << ' ' << res.policy << ' ' << res.decisions
+           << '\n';
+  }
+
+  if (std::getenv("TLB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{golden_path};
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual.str();
+    GTEST_SKIP() << "golden file regenerated";
+  }
+
+  std::ifstream in{golden_path};
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << "; regenerate with TLB_UPDATE_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual.str(), expected.str())
+      << "decision sequences drifted; if intentional, regenerate with "
+         "TLB_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace tlb::workload

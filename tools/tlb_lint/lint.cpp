@@ -312,7 +312,7 @@ std::vector<Rule> const& default_rules() {
           // need their own entries.
           {"Envelope{", "Envelope(", "rt::Envelope{", "rt::Envelope("},
           {"src/lb/", "src/lbaf/", "src/obs/", "src/fault/", "src/pic/",
-           "src/support/"},
+           "src/policy/", "src/support/", "src/workload/"},
           {},
           "constructing rt::Envelope outside src/runtime bypasses causal "
           "stamping and fault-exemption accounting: send through "

@@ -87,6 +87,25 @@ void parse_timeline_samples(JsonValue const& timeline, ReportInput& in) {
     sample.faults_delayed = get_u64(s, "faults_delayed");
     sample.faults_duplicated = get_u64(s, "faults_duplicated");
     sample.faults_retried = get_u64(s, "faults_retried");
+    // Decision/snapshot fields arrived with the adaptive-invocation layer;
+    // older documents (pre-policy flight dumps) default to invoked.
+    if (s.has("lb_invoked")) {
+      sample.lb_invoked = s.at("lb_invoked").boolean();
+      sample.policy = s.at("policy").str();
+      sample.decision_reason = s.at("reason").str();
+      sample.forecast_imbalance = get_num(s, "forecast_imbalance");
+      sample.forecast_error = get_num(s, "forecast_error");
+      sample.predicted_gain = get_num(s, "predicted_gain");
+      sample.predicted_cost = get_num(s, "predicted_cost");
+      sample.snapshot_ranks =
+          static_cast<std::uint32_t>(get_u64(s, "snapshot_ranks"));
+      sample.rest_load_sum = get_num(s, "rest_load_sum");
+      for (JsonValue const& rl : s.at("top_loads").array()) {
+        sample.top_loads.push_back(
+            {static_cast<std::int32_t>(get_i64(rl, "rank")),
+             get_num(rl, "load")});
+      }
+    }
     in.timeline.push_back(std::move(sample));
   }
 }
@@ -266,7 +285,7 @@ void render_timeline(std::ostream& os, ReportInput const& in,
   rule(os, "Imbalance evolution (" + std::to_string(in.timeline.size()) +
                " of " + std::to_string(in.timeline_total) +
                " phases retained)");
-  os << "    phase  strategy         lam_before  lam_after   load_avg  "
+  os << "    phase  strategy         lb    lam_before  lam_after   load_avg  "
         "migr     bytes  lb_msgs  aborted  faults";
   if (!opts.stable) {
     os << "  lb_wall_us";
@@ -276,6 +295,7 @@ void render_timeline(std::ostream& os, ReportInput const& in,
     auto const faults = s.faults_dropped + s.faults_delayed +
                         s.faults_duplicated + s.faults_retried;
     os << "    " << pad(s.phase, 5) << "  " << pad(s.strategy, -15) << "  "
+       << pad(s.lb_invoked ? "inv" : "skip", -4) << "  "
        << pad(fmt(s.imbalance_before), 10) << "  "
        << pad(fmt(s.imbalance_after), 9) << "  " << pad(fmt(s.load_avg, 1), 9)
        << "  " << pad(s.migrations, 4) << "  " << pad(s.migration_bytes, 8)
