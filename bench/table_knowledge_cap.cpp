@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
               << "# ranks=" << c.workload.num_ranks
               << " tasks=" << c.workload.tasks.size() << "\n";
     Table table{{"knowledge cap", "best I", "iter-1 I", "gossip msgs/iter",
-                 "iter-1 rejection (%)"}};
+                 "gossip bytes/iter", "iter-1 rejection (%)"}};
     for (int const cap : {2, 4, 8, 16, 32, 64, 0}) {
       auto params = setup.params;
       params.criterion = lb::CriterionKind::relaxed;
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
           .add_cell(result.best_imbalance, 3)
           .add_cell(records.front().imbalance, 3)
           .add_cell(records.front().gossip_messages)
+          .add_cell(records.front().gossip_bytes)
           .add_cell(records.front().rejection_rate, 2);
     }
     if (csv) {

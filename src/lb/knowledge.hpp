@@ -5,7 +5,29 @@
 /// stage: the set S^p of known (initially underloaded) ranks and the
 /// LOAD^p() map of their last-known loads (Algorithm 1). Kept sorted by
 /// rank id so merges are deterministic and lookups are O(log n).
+///
+/// Entries carry an owner-local, monotone *version stamp*: every insert,
+/// overwrite, load update, or merge-in of a previously unknown rank
+/// stamps the affected entry with the next value of the owner's version
+/// counter. Versions never travel on the wire (each owner stamps its own
+/// copy); they exist so a forwarding event can ship only the entries that
+/// are new or changed since its last forwarding event — the delta-encoded
+/// gossip wire plane (see DESIGN.md "Gossip wire plane").
+///
+/// Wire format (pack_full/pack_delta, shared layout):
+///
+///   varint n                       entry count
+///   n x varint                     rank ids, delta-coded over the sorted
+///                                  list: first absolute, then
+///                                  rank[i] - rank[i-1] - 1 (ids strictly
+///                                  increase, so the -1 tightens density)
+///   n x f64                        raw little-endian loads, same order
+///
+/// wire_bytes()/wire_bytes_delta() are computed by the same per-entry
+/// size arithmetic pack() emits, asserted equal at pack time, so the
+/// modeled traffic can never drift from the serialized truth.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -15,13 +37,27 @@
 
 namespace tlb::lb {
 
-/// One entry of LOAD^p(): a known peer and its last-known load.
+/// One entry of LOAD^p(): a known peer, its last-known load, and the
+/// owner-local version stamp of the last change to this entry.
 struct KnownRank {
+  KnownRank() = default;
+  KnownRank(RankId r, LoadType l) : rank{r}, load{l} {}
+  KnownRank(RankId r, std::uint32_t v, LoadType l)
+      : rank{r}, version{v}, load{l} {}
+
   RankId rank = invalid_rank;
+  /// Monotone per-owner change stamp (not semantic state: two knowledge
+  /// sets with the same ranks and loads are equal regardless of the
+  /// insertion order that produced them, so == ignores it).
+  std::uint32_t version = 0;
   LoadType load = 0.0;
 
-  friend bool operator==(KnownRank const&, KnownRank const&) = default;
+  friend bool operator==(KnownRank const& a, KnownRank const& b) {
+    return a.rank == b.rank && a.load == b.load;
+  }
 };
+static_assert(sizeof(KnownRank) == 16,
+              "version must live in what used to be struct padding");
 
 /// Sorted-by-rank collection of known peers. Invariant: ranks strictly
 /// increasing (|S^p| == |LOAD^p()| by construction, the paper's Require).
@@ -29,16 +65,19 @@ class Knowledge {
 public:
   Knowledge() = default;
 
-  /// Insert or overwrite the load for a rank.
+  /// Insert or overwrite the load for a rank. Stamps the entry.
   void insert(RankId rank, LoadType load);
 
   /// Merge another rank's knowledge. Existing entries keep the *incoming*
   /// load only when we did not already know the rank: a rank's own local
   /// updates (speculative transfers it directed at the peer) are fresher
-  /// than gossiped initial loads.
+  /// than gossiped initial loads. Newly learned entries are stamped in
+  /// ascending rank order. Allocation-free once capacity suffices (the
+  /// merge is performed in place, back to front).
   void merge(Knowledge const& other);
 
   /// Add `delta` to a known rank's load. Precondition: rank is known.
+  /// Stamps the entry (its value changed).
   void add_load(RankId rank, LoadType delta);
 
   [[nodiscard]] bool contains(RankId rank) const;
@@ -51,7 +90,14 @@ public:
     return entries_;
   }
 
-  void clear() { entries_.clear(); }
+  /// Forget everything: entries, version counter, truncation flag.
+  /// Capacity is retained, so a cleared-and-refilled knowledge allocates
+  /// only while growing past its historical maximum.
+  void clear() {
+    entries_.clear();
+    next_version_ = 1;
+    truncated_ = false;
+  }
 
   /// Bound the knowledge to the `cap` entries with the lowest loads (the
   /// most attractive transfer targets), breaking load ties by rank id.
@@ -67,21 +113,92 @@ public:
   /// thundering-herd failure of keeping the lightest entries everywhere.
   void truncate_random(std::size_t cap, Rng& rng);
 
-  /// Wire size for network accounting: exactly what pack() emits per
-  /// entry (the serializer ships whole KnownRank records), sans the
-  /// length prefix.
-  [[nodiscard]] std::size_t wire_bytes() const {
-    return entries_.size() * sizeof(KnownRank);
+  // --- Versioning (the delta wire plane's bookkeeping) ---
+
+  /// The stamp covering every current entry: entries with
+  /// version > version_mark() cannot exist. A forwarding event records
+  /// this as its high-water mark after packing.
+  [[nodiscard]] std::uint32_t version_mark() const {
+    return next_version_ - 1;
   }
 
-  /// Serialize into a Packer; the distributed gossip ships knowledge
+  /// True when entries were dropped (by either truncate flavor) since the
+  /// flag was last consumed; reading clears it. Forwarding events use
+  /// this to fall back to a full snapshot after truncation, the recovery
+  /// rule that keeps bounded-knowledge (footnote 2) runs re-offering
+  /// dropped entries instead of silently never mentioning them again.
+  [[nodiscard]] bool take_truncated() {
+    bool const t = truncated_;
+    truncated_ = false;
+    return t;
+  }
+
+  /// Number of entries stamped after `since` (what pack_delta would ship).
+  [[nodiscard]] std::size_t delta_count(std::uint32_t since) const;
+
+  /// A knowledge holding copies of the entries stamped after `since`
+  /// (freshly stamped 1..k). The sequential gossip emulation uses this to
+  /// model delta payloads; the runtime protocol packs straight to bytes.
+  [[nodiscard]] Knowledge delta_copy(std::uint32_t since) const;
+
+  /// Pre-grow the entry vector to hold `n` entries without reallocating.
+  /// The inform plane reserves to P so steady-state merges and unpacks
+  /// never touch the allocator.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  // --- Wire format ---
+
+  /// An upper bound on the bytes any packed payload of up to `n` entries
+  /// can occupy: a 5-byte count varint plus, per entry, a 5-byte id gap
+  /// and a raw f64 load. Deliberately loose (real gap varints are almost
+  /// always one byte) — its job is to let buffer pools reserve once and
+  /// never grow, not to model traffic; wire_bytes() stays the accountant.
+  [[nodiscard]] static constexpr std::size_t wire_capacity_bound(
+      std::size_t n) {
+    return 5 + n * (5 + sizeof(double));
+  }
+
+  /// Exact bytes pack_full() emits (varint count + delta-coded ids + raw
+  /// f64 loads). This is the accounting function for network modeling;
+  /// pack asserts against it.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return encoded_bytes(0);
+  }
+
+  /// Exact bytes pack_delta(_, since) emits.
+  [[nodiscard]] std::size_t wire_bytes_delta(std::uint32_t since) const {
+    return encoded_bytes(since);
+  }
+
+  /// Serialize every entry; the distributed gossip ships knowledge
   /// through real bytes so the protocol is proven serialization-clean.
-  void pack(rt::Packer& packer) const;
-  /// Deserialize; inverse of pack().
+  void pack_full(rt::Packer& packer) const { pack_since(packer, 0); }
+
+  /// Serialize only the entries stamped after `since` (the delta since a
+  /// forwarding event whose high-water mark was `since`).
+  void pack_delta(rt::Packer& packer, std::uint32_t since) const {
+    pack_since(packer, since);
+  }
+
+  /// Deserialize; inverse of pack_full/pack_delta. Received entries are
+  /// stamped 1..n (wire messages carry no versions — stamps are local).
   [[nodiscard]] static Knowledge unpack(rt::Unpacker& unpacker);
 
+  /// Deserialize into *this*, replacing its contents but reusing its
+  /// capacity — the allocation-free receive path for a per-rank inbox
+  /// scratch.
+  void unpack_into(rt::Unpacker& unpacker);
+
 private:
+  void pack_since(rt::Packer& packer, std::uint32_t since) const;
+  [[nodiscard]] std::size_t encoded_bytes(std::uint32_t since) const;
+
   std::vector<KnownRank> entries_;
+  /// Next stamp to hand out; 0 is reserved as "before everything".
+  std::uint32_t next_version_ = 1;
+  /// Set when truncation actually dropped entries; consumed by
+  /// take_truncated().
+  bool truncated_ = false;
 };
 
 } // namespace tlb::lb

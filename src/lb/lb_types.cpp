@@ -68,6 +68,14 @@ std::string_view to_string(OrderKind kind) {
   return "?";
 }
 
+std::string_view to_string(GossipWire wire) {
+  switch (wire) {
+  case GossipWire::full: return "full";
+  case GossipWire::delta: return "delta";
+  }
+  return "?";
+}
+
 OrderKind order_from_string(std::string_view name) {
   if (name == "arbitrary") {
     return OrderKind::arbitrary;

@@ -53,6 +53,16 @@ enum class OrderKind : std::uint8_t {
   lightest
 };
 
+/// How a forwarding event serializes its knowledge (the gossip wire
+/// plane; see DESIGN.md "Gossip wire plane").
+///   full:  every forward ships the rank's entire knowledge set — the
+///          O(rounds x fanout x |S^p|) baseline of Algorithm 1.
+///   delta: each forward ships only entries new or changed since the
+///          rank's previous forwarding event (per-forward high-water
+///          mark over version stamps); the first forward and any forward
+///          after a truncation fall back to a full snapshot.
+enum class GossipWire : std::uint8_t { full, delta };
+
 /// Full parameterization of one inform+transfer pass. The named presets
 /// below reproduce the paper's configurations.
 struct LbParams {
@@ -77,6 +87,11 @@ struct LbParams {
   /// configuration; a positive cap implements the footnote-2 future-work
   /// direction of bounding the O(P) knowledge lists.
   int max_knowledge = 0;
+  /// Wire encoding of gossip forwards. Delta is the default: with the
+  /// paper's saturating fanout/rounds it converges to the same knowledge
+  /// sets as full resend (pinned by the equivalence tests) at a fraction
+  /// of the bytes.
+  GossipWire gossip_wire = GossipWire::delta;
   /// Use negative acknowledgements on speculative transfers: a recipient
   /// that the proposal would push past the threshold bounces the task
   /// back to the sender. Menon et al.'s original design point; the paper
@@ -101,6 +116,7 @@ struct LbParams {
 [[nodiscard]] std::string_view to_string(CmfRefresh refresh);
 [[nodiscard]] std::string_view to_string(CriterionKind kind);
 [[nodiscard]] std::string_view to_string(OrderKind kind);
+[[nodiscard]] std::string_view to_string(GossipWire wire);
 
 /// Parse an OrderKind from its to_string form; throws std::invalid_argument
 /// on unknown names.

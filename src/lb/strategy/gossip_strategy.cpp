@@ -3,15 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <memory>
 
+#include "lb/strategy/inform_plane.hpp"
 #include "lb/transfer.hpp"
 #include "obs/lb_report.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/collectives.hpp"
 #include "support/assert.hpp"
 #include "support/check.hpp"
+#include "support/seq_outcome_map.hpp"
 #include "support/stats.hpp"
 
 namespace tlb::lb {
@@ -27,19 +28,18 @@ struct SpecTask {
 };
 
 /// Per-rank protocol state for one iteration sequence. Each slot is only
-/// mutated by handlers executing on its own rank.
+/// mutated by handlers executing on its own rank. The inform-stage state
+/// (knowledge, forwarding bitmask) lives in the InformPlane.
 struct RankState {
-  Knowledge knowledge;
-  std::uint64_t forwarded = 0; ///< bitmask of rounds already forwarded
   LoadType load = 0.0;
   std::vector<SpecTask> tasks;
 };
 
 struct Shared {
   std::vector<RankState> states;
-  int fanout = 0;
-  int rounds = 0;
-  std::size_t max_knowledge = 0; ///< 0 = unlimited (footnote-2 cap)
+  /// The inform stage: per-rank knowledge, forwarding cascade, and the
+  /// delta-encoded wire plane (see inform_plane.hpp).
+  std::shared_ptr<InformPlane> inform;
   bool use_nacks = false;
   LoadType l_ave = 0.0;
   /// Transfer-pass threshold h (params.threshold), hoisted here so the
@@ -52,69 +52,6 @@ struct Shared {
   LbParams params;
   obs::LbReportBuilder* report = nullptr; ///< optional introspection sink
 };
-
-/// Pick a gossip peer uniformly from P \ {self}, preferring ranks not yet
-/// in the local knowledge (Algorithm 1 line 20). Bounded rejection
-/// sampling with a uniform fallback keeps per-send cost O(1).
-RankId pick_peer(rt::RankContext& ctx, Knowledge const& known) {
-  auto const p = ctx.num_ranks();
-  for (int attempt = 0; attempt < 16; ++attempt) {
-    auto const r = static_cast<RankId>(
-        ctx.rng().uniform_below(static_cast<std::uint64_t>(p)));
-    if (r != ctx.rank() && !known.contains(r)) {
-      return r;
-    }
-  }
-  auto const r = static_cast<RankId>(
-      ctx.rng().uniform_below(static_cast<std::uint64_t>(p - 1)));
-  return r >= ctx.rank() ? r + 1 : r;
-}
-
-void forward_gossip(std::shared_ptr<Shared> const& shared,
-                    rt::RankContext& ctx, int next_round);
-
-void receive_gossip(std::shared_ptr<Shared> const& shared,
-                    rt::RankContext& ctx, Knowledge const& incoming,
-                    int round, std::size_t wire_bytes) {
-  auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
-  st.knowledge.merge(incoming);
-  st.knowledge.truncate_random(shared->max_knowledge, ctx.rng());
-  if (shared->report != nullptr) {
-    shared->report->on_gossip_message(round, wire_bytes, st.knowledge.size());
-  }
-  if (round < shared->rounds) {
-    std::uint64_t const bit = 1ull << round;
-    if ((st.forwarded & bit) == 0) {
-      st.forwarded |= bit;
-      forward_gossip(shared, ctx, round + 1);
-    }
-  }
-}
-
-void forward_gossip(std::shared_ptr<Shared> const& shared,
-                    rt::RankContext& ctx, int next_round) {
-  auto const& st = shared->states[static_cast<std::size_t>(ctx.rank())];
-  // Serialize the knowledge once per forwarding event; the f messages
-  // share the same byte buffer (they would carry identical wire data),
-  // which also bounds peak memory when the lists approach O(P). The
-  // receiver deserializes, proving the protocol is serialization-clean.
-  rt::Packer packer;
-  st.knowledge.pack(packer);
-  auto const snapshot = std::make_shared<std::vector<std::byte> const>(
-      std::move(packer).take());
-  std::size_t const bytes = snapshot->size() + sizeof(int);
-  for (int i = 0; i < shared->fanout; ++i) {
-    RankId const dest = pick_peer(ctx, st.knowledge);
-    ctx.send(
-        dest, bytes,
-        [shared, snapshot, next_round, bytes](rt::RankContext& c) {
-          rt::Unpacker unpacker{*snapshot};
-          Knowledge const incoming = Knowledge::unpack(unpacker);
-          receive_gossip(shared, c, incoming, next_round, bytes);
-        },
-        rt::MessageKind::gossip);
-  }
-}
 
 /// Resilient transfer-epoch state (only used when the runtime has an
 /// active fault plane). Each speculative task move becomes a
@@ -143,8 +80,10 @@ struct ResilientXfer {
   std::vector<std::vector<Proposal>> outbox;
   /// seen[r] — seq → accepted outcome for every proposal rank r has
   /// decided. The receiver-side dedup table: a duplicated or retried
-  /// proposal replays the recorded outcome instead of re-applying.
-  std::vector<std::map<std::uint64_t, char>> seen;
+  /// proposal replays the recorded outcome instead of re-applying. A flat
+  /// open-addressing table — the find on every delivery attempt is the
+  /// fault path's hottest lookup.
+  std::vector<SeqOutcomeMap> seen;
 
   explicit ResilientXfer(RankId p)
       : outbox(static_cast<std::size_t>(p)),
@@ -164,10 +103,10 @@ void send_proposal(std::shared_ptr<Shared> const& shared,
       prop->to, kProposalBytes,
       [shared, rx, prop](rt::RankContext& dest) {
         auto& decided = rx->seen[static_cast<std::size_t>(dest.rank())];
-        auto const it = decided.find(prop->seq);
+        char const* const known = decided.find(prop->seq);
         char accepted;
-        if (it != decided.end()) {
-          accepted = it->second; // duplicate: replay, don't re-apply
+        if (known != nullptr) {
+          accepted = *known; // duplicate: replay, don't re-apply
         } else {
           auto& dst = shared->states[static_cast<std::size_t>(dest.rank())];
           if (shared->use_nacks &&
@@ -181,7 +120,7 @@ void send_proposal(std::shared_ptr<Shared> const& shared,
             dst.load += prop->task.load;
             accepted = 1;
           }
-          decided.emplace(prop->seq, accepted);
+          decided.insert(prop->seq, accepted);
         }
         dest.send(
             prop->from, kAckBytes,
@@ -273,10 +212,10 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
   }
 
   auto shared = std::make_shared<Shared>();
-  shared->fanout = params.fanout;
-  shared->rounds = params.rounds;
-  shared->max_knowledge =
-      static_cast<std::size_t>(std::max(0, params.max_knowledge));
+  shared->inform = std::make_shared<InformPlane>(
+      p, params.seed, params.gossip_wire, params.fanout, params.rounds,
+      static_cast<std::size_t>(std::max(0, params.max_knowledge)),
+      introspection_);
   shared->use_nacks = params.use_nacks;
   shared->l_ave = l_ave;
   shared->threshold = params.threshold;
@@ -287,8 +226,6 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
   auto reset_states = [&] {
     for (RankId r = 0; r < p; ++r) {
       auto& st = shared->states[static_cast<std::size_t>(r)];
-      st.knowledge.clear();
-      st.forwarded = 0;
       st.load = initial_loads[static_cast<std::size_t>(r)];
       st.tasks.clear();
       st.tasks.reserve(input.tasks[static_cast<std::size_t>(r)].size());
@@ -315,17 +252,11 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
       // --- Inform epoch (Algorithm 1): seed from underloaded ranks. ---
       {
         TLB_SPAN_ARG("lb", "inform", "iter", iter);
-        for (RankId r = 0; r < p; ++r) {
-          auto& st = shared->states[static_cast<std::size_t>(r)];
-          st.knowledge.clear();
-          st.forwarded = 0;
-        }
+        shared->inform->reset_epoch();
         rt.post_all([shared, l_ave](rt::RankContext& ctx) {
           auto& st = shared->states[static_cast<std::size_t>(ctx.rank())];
           if (st.load < l_ave) {
-            st.knowledge.insert(ctx.rank(), st.load);
-            st.forwarded |= 1ull;
-            forward_gossip(shared, ctx, 1);
+            shared->inform->seed_and_forward(ctx, st.load);
           }
         });
         // Gossip tolerates loss (knowledge just stays partial), but a
@@ -350,7 +281,9 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
           }
           auto const transfer =
               run_transfer(shared->params, ctx.rank(), entries, st.load,
-                           shared->l_ave, st.knowledge, ctx.rng());
+                           shared->l_ave,
+                           shared->inform->knowledge_of(ctx.rank()),
+                           ctx.rng());
           if (shared->report != nullptr) {
             shared->report->on_transfer_pass(transfer.accepted,
                                              transfer.rejected,
@@ -418,7 +351,9 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
           }
           auto const transfer =
               run_transfer(shared->params, ctx.rank(), entries, st.load,
-                           shared->l_ave, st.knowledge, ctx.rng());
+                           shared->l_ave,
+                           shared->inform->knowledge_of(ctx.rank()),
+                           ctx.rng());
           if (shared->report != nullptr) {
             shared->report->on_transfer_pass(transfer.accepted,
                                              transfer.rejected,
@@ -499,8 +434,8 @@ StrategyResult GossipStrategy::balance(rt::Runtime& rt,
             }
             auto const& decided =
                 rx->seen[static_cast<std::size_t>(prop.to)];
-            auto const it = decided.find(prop.seq);
-            bool const applied = it != decided.end() && it->second != 0;
+            char const* const outcome = decided.find(prop.seq);
+            bool const applied = outcome != nullptr && *outcome != 0;
             prop.resolved = 1;
             prop.accepted = applied ? 1 : 0;
             if (!applied) {

@@ -73,11 +73,13 @@ ExperimentResult run_experiment(lb::LbParams const& params,
           run_gossip(loads, l_ave, params.fanout, params.rounds, gossip_rng,
                      &gossip_stats,
                      static_cast<std::size_t>(
-                         std::max(0, params.max_knowledge)));
+                         std::max(0, params.max_knowledge)),
+                     params.gossip_wire);
       if (report != nullptr) {
         for (std::size_t r = 0; r < gossip_stats.per_round.size(); ++r) {
           GossipRoundStats const& rs = gossip_stats.per_round[r];
-          report->on_gossip_round(static_cast<int>(r), rs.messages, rs.bytes,
+          report->on_gossip_round(static_cast<int>(r), rs.messages,
+                                  rs.full_messages, rs.bytes,
                                   rs.knowledge_min, rs.knowledge_max,
                                   rs.knowledge_sum);
         }
@@ -90,6 +92,7 @@ ExperimentResult run_experiment(lb::LbParams const& params,
       record.trial = trial;
       record.iteration = iter;
       record.gossip_messages = gossip_stats.messages;
+      record.gossip_bytes = gossip_stats.bytes;
 
       std::vector<Migration> iteration_migrations;
       for (RankId p = 0; p < num_ranks; ++p) {

@@ -33,6 +33,7 @@ struct IterationRecord {
   double rejection_rate = 0.0;   ///< rejected / (transfers + rejected), %
   double imbalance = 0.0;        ///< I after applying this iteration
   std::size_t gossip_messages = 0;
+  std::size_t gossip_bytes = 0; ///< wire bytes of this iteration's epoch
 };
 
 /// Result of a full Algorithm 3 run (trials x iterations).

@@ -4,6 +4,7 @@
 #include <deque>
 #include <memory>
 
+#include "runtime/serialize.hpp"
 #include "support/assert.hpp"
 
 namespace tlb::lbaf {
@@ -19,28 +20,37 @@ struct GossipMessage {
   RankId dest = invalid_rank;
   std::shared_ptr<lb::Knowledge const> payload;
   int round = 0;
+  bool full = true; ///< full snapshot vs delta payload (GossipWire)
 };
 
-/// Choose a peer uniformly from all ranks excluding `self` and, when
-/// possible, excluding ranks already in `exclude` (Algorithm 1 line 20:
-/// R = P \ S^p). When the exclusion set covers everyone we fall back to
-/// any rank != self so the message count stays deterministic.
-RankId pick_peer(RankId num_ranks, RankId self, lb::Knowledge const& exclude,
-                 Rng& rng) {
-  TLB_EXPECTS(num_ranks > 1);
-  // Rejection-sample a bounded number of times; the exclusion is an
-  // optimization, not a correctness requirement.
-  for (int attempt = 0; attempt < 16; ++attempt) {
+/// Modeled wire size of one message: what the distributed protocol packs
+/// (varint round + one flag byte + the entries encoding).
+std::size_t message_wire_bytes(GossipMessage const& msg) {
+  return rt::varint_size(static_cast<std::uint64_t>(msg.round)) + 1 +
+         msg.payload->wire_bytes();
+}
+
+/// Draw `self`'s gossip peers for the epoch: min(fanout, P-1) distinct
+/// ranks != self, uniform without replacement. Every forwarding event of
+/// the epoch reuses this set (a random f-out overlay), which is what
+/// makes the delta wire exactly equivalent to full resend: each peer
+/// receives the sender's *entire* forward sequence, so the contiguous
+/// deltas union to precisely the full-resend payloads edge by edge. The
+/// paper's footnote-2 random-graph-connectivity argument bounds the
+/// coverage cost of fixing the overlay (a random f-out digraph is an
+/// expander; its giant out-component misses O(e^-f) of rank pairs).
+void draw_peers(std::vector<RankId>& peers, RankId num_ranks, RankId self,
+                int fanout, Rng& rng) {
+  peers.clear();
+  auto const want = static_cast<std::size_t>(
+      std::min<RankId>(static_cast<RankId>(fanout), num_ranks - 1));
+  while (peers.size() < want) {
     auto const r = static_cast<RankId>(
         rng.uniform_below(static_cast<std::uint64_t>(num_ranks)));
-    if (r != self && !exclude.contains(r)) {
-      return r;
+    if (r != self && std::find(peers.begin(), peers.end(), r) == peers.end()) {
+      peers.push_back(r);
     }
   }
-  // Dense exclusion set: fall back to uniform over P \ {self}.
-  auto const r = static_cast<RankId>(
-      rng.uniform_below(static_cast<std::uint64_t>(num_ranks - 1)));
-  return r >= self ? r + 1 : r;
 }
 
 } // namespace
@@ -48,7 +58,7 @@ RankId pick_peer(RankId num_ranks, RankId self, lb::Knowledge const& exclude,
 std::vector<lb::Knowledge>
 run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
            int rounds, Rng& rng, GossipStats* stats,
-           std::size_t max_knowledge) {
+           std::size_t max_knowledge, lb::GossipWire wire) {
   auto const num_ranks = static_cast<RankId>(rank_loads.size());
   TLB_EXPECTS(num_ranks > 0);
   TLB_EXPECTS(fanout > 0);
@@ -57,6 +67,11 @@ run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
   std::vector<lb::Knowledge> knowledge(rank_loads.size());
   // Bitmask of rounds each rank has already forwarded at (k <= 64).
   std::vector<std::uint64_t> forwarded(rank_loads.size(), 0);
+  // Delta-wire bookkeeping: the version high-water mark of each rank's
+  // last forwarding event, and whether its next forward must be a full
+  // snapshot (first forward of the epoch, or truncation recovery).
+  std::vector<std::uint32_t> hwm(rank_loads.size(), 0);
+  std::vector<char> need_full(rank_loads.size(), 1);
   GossipStats local_stats;
   local_stats.per_round.resize(static_cast<std::size_t>(rounds) + 1);
 
@@ -69,14 +84,28 @@ run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
 
   std::deque<GossipMessage> queue;
 
+  // The epoch's gossip overlay: every rank's peer set is fixed up front
+  // (drawn before any message flows, so RNG consumption is identical
+  // under both wire modes and the message graph is knowledge-independent).
+  std::vector<std::vector<RankId>> overlay(rank_loads.size());
+  for (RankId p = 0; p < num_ranks; ++p) {
+    draw_peers(overlay[static_cast<std::size_t>(p)], num_ranks, p, fanout,
+               rng);
+  }
+
   auto send_fanout = [&](RankId from, int next_round) {
-    auto const snapshot = std::make_shared<lb::Knowledge const>(
-        knowledge[static_cast<std::size_t>(from)]);
-    for (int i = 0; i < fanout; ++i) {
-      RankId const dest =
-          pick_peer(num_ranks, from, knowledge[static_cast<std::size_t>(from)],
-                    rng);
-      queue.push_back(GossipMessage{dest, snapshot, next_round});
+    auto const fi = static_cast<std::size_t>(from);
+    bool const truncated = knowledge[fi].take_truncated();
+    bool const full = wire == lb::GossipWire::full || need_full[fi] != 0 ||
+                      truncated;
+    auto const snapshot =
+        full ? std::make_shared<lb::Knowledge const>(knowledge[fi])
+             : std::make_shared<lb::Knowledge const>(
+                   knowledge[fi].delta_copy(hwm[fi]));
+    hwm[fi] = knowledge[fi].version_mark();
+    need_full[fi] = 0;
+    for (RankId const dest : overlay[fi]) {
+      queue.push_back(GossipMessage{dest, snapshot, next_round, full});
     }
   };
 
@@ -97,7 +126,8 @@ run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
     auto const pi = static_cast<std::size_t>(msg.dest);
 
     ++local_stats.messages;
-    local_stats.bytes += msg.payload->wire_bytes();
+    local_stats.full_messages += msg.full ? 1 : 0;
+    local_stats.bytes += message_wire_bytes(msg);
     local_stats.max_round_seen = std::max(
         local_stats.max_round_seen, static_cast<std::size_t>(msg.round));
 
@@ -113,7 +143,8 @@ run_gossip(std::vector<LoadType> const& rank_loads, LoadType l_ave, int fanout,
     round_stats.knowledge_max = std::max(round_stats.knowledge_max, k);
     round_stats.knowledge_sum += k;
     ++round_stats.messages;
-    round_stats.bytes += msg.payload->wire_bytes();
+    round_stats.full_messages += msg.full ? 1 : 0;
+    round_stats.bytes += message_wire_bytes(msg);
 
     if (msg.round < rounds) {
       std::uint64_t const bit = 1ull << msg.round;

@@ -26,12 +26,14 @@ void update_atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
 } // namespace
 
 void LbReportBuilder::on_gossip_message(int round, std::uint64_t wire_bytes,
-                                        std::size_t knowledge_size) {
+                                        std::size_t knowledge_size,
+                                        bool full_snapshot) {
   auto const k = static_cast<std::uint64_t>(knowledge_size);
-  on_gossip_round(round, 1, wire_bytes, k, k, k);
+  on_gossip_round(round, 1, full_snapshot ? 1 : 0, wire_bytes, k, k, k);
 }
 
 void LbReportBuilder::on_gossip_round(int round, std::uint64_t messages,
+                                      std::uint64_t full_messages,
                                       std::uint64_t bytes,
                                       std::uint64_t knowledge_min,
                                       std::uint64_t knowledge_max,
@@ -42,6 +44,7 @@ void LbReportBuilder::on_gossip_round(int round, std::uint64_t messages,
   }
   RoundSlot& slot = rounds_[static_cast<std::size_t>(round)];
   slot.messages.fetch_add(messages, std::memory_order_relaxed);
+  slot.full_messages.fetch_add(full_messages, std::memory_order_relaxed);
   slot.bytes.fetch_add(bytes, std::memory_order_relaxed);
   slot.knowledge_sum.fetch_add(knowledge_sum, std::memory_order_relaxed);
   update_atomic_min(slot.knowledge_min, knowledge_min);
@@ -125,6 +128,7 @@ LbInvocationReport LbReportBuilder::finish(std::size_t phase) const {
     GossipRoundReport round;
     round.round = static_cast<int>(r);
     round.messages = messages;
+    round.full_messages = slot.full_messages.load(std::memory_order_relaxed);
     round.bytes = slot.bytes.load(std::memory_order_relaxed);
     round.knowledge_min = slot.knowledge_min.load(std::memory_order_relaxed);
     round.knowledge_max = slot.knowledge_max.load(std::memory_order_relaxed);
@@ -166,6 +170,8 @@ void write_lb_reports_json(std::ostream& os,
       w.begin_object();
       w.kv("round", round.round);
       w.kv("messages", static_cast<unsigned long long>(round.messages));
+      w.kv("full_messages",
+           static_cast<unsigned long long>(round.full_messages));
       w.kv("bytes", static_cast<unsigned long long>(round.bytes));
       w.kv("knowledge_min",
            static_cast<unsigned long long>(round.knowledge_min));

@@ -27,6 +27,8 @@ namespace tlb::obs {
 struct GossipRoundReport {
   int round = 0;
   std::uint64_t messages = 0;     ///< gossip messages received this round
+  std::uint64_t full_messages = 0; ///< of those, full-snapshot payloads
+                                   ///< (rest are deltas; see GossipWire)
   std::uint64_t bytes = 0;        ///< wire bytes of those messages
   std::uint64_t knowledge_min = 0; ///< smallest post-merge knowledge size
   std::uint64_t knowledge_max = 0; ///< largest post-merge knowledge size
@@ -95,14 +97,17 @@ public:
 
   /// Handler-side: one gossip message arrived for `round`, carrying
   /// `wire_bytes`, leaving the receiver with `knowledge_size` known ranks.
+  /// `full_snapshot` distinguishes full payloads from deltas (GossipWire).
   void on_gossip_message(int round, std::uint64_t wire_bytes,
-                         std::size_t knowledge_size);
+                         std::size_t knowledge_size,
+                         bool full_snapshot = true);
 
   /// Bulk variant for sequential emulations that aggregate a whole round
-  /// before reporting: `messages` deliveries totalling `bytes`, with the
-  /// given min/max/sum of post-merge knowledge sizes. No-op if
-  /// messages == 0.
-  void on_gossip_round(int round, std::uint64_t messages, std::uint64_t bytes,
+  /// before reporting: `messages` deliveries (`full_messages` of them
+  /// full snapshots) totalling `bytes`, with the given min/max/sum of
+  /// post-merge knowledge sizes. No-op if messages == 0.
+  void on_gossip_round(int round, std::uint64_t messages,
+                       std::uint64_t full_messages, std::uint64_t bytes,
                        std::uint64_t knowledge_min, std::uint64_t knowledge_max,
                        std::uint64_t knowledge_sum);
 
@@ -127,6 +132,7 @@ public:
 private:
   struct RoundSlot {
     std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> full_messages{0};
     std::atomic<std::uint64_t> bytes{0};
     std::atomic<std::uint64_t> knowledge_sum{0};
     std::atomic<std::uint64_t> knowledge_min{UINT64_MAX};

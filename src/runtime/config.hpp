@@ -60,6 +60,11 @@ struct RuntimeConfig {
   /// (fairness/progress knob; does not affect the final quiescent state of
   /// well-formed protocols).
   int batch = 16;
+  /// Envelopes pre-reserved in every mailbox's producer queue and consumer
+  /// stash. Zero keeps the historical lazy growth. A value at or above a
+  /// protocol's peak per-rank burst makes the steady-state delivery path
+  /// allocation-free (pinned by the gossip allocation-counter test).
+  std::size_t mailbox_reserve = 0;
   /// Fault-injection knob: deliver each mailbox's messages in a random
   /// order instead of FIFO (deterministic given `seed`). Real networks
   /// reorder across channels; protocols built on this runtime must not

@@ -45,6 +45,16 @@ namespace tlb::rt {
 
 class alignas(64) Mailbox {
 public:
+  /// Pre-grow the producer queue and consumer stash to hold `depth`
+  /// envelopes each without reallocating. Capacities only ever grow from
+  /// there, so a depth chosen at or above the protocol's peak burst makes
+  /// the steady-state delivery path allocation-free. Construction-time
+  /// only (the caller owns the mailbox exclusively; no lock needed).
+  void reserve(std::size_t depth) {
+    queue_.reserve(depth);
+    stash_.reserve(depth);
+  }
+
   /// Returns the queue depth after the push (for depth watermarking),
   /// counting messages the consumer has swapped out but not yet run.
   /// Takes an rvalue reference (as do the other push entry points) so the

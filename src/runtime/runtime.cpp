@@ -40,6 +40,11 @@ Runtime::Runtime(RuntimeConfig config)
   TLB_EXPECTS(config.num_threads >= 1);
   TLB_EXPECTS(config.batch > 0);
   TLB_EXPECTS(config.shards_per_worker >= 1);
+  if (config.mailbox_reserve > 0) {
+    for (auto& mailbox : mailboxes_) {
+      mailbox.reserve(config.mailbox_reserve);
+    }
+  }
   Rng const root{config.seed};
   rank_rngs_.reserve(static_cast<std::size_t>(config.num_ranks));
   for (RankId r = 0; r < config.num_ranks; ++r) {

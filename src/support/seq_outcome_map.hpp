@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file seq_outcome_map.hpp
+/// A flat open-addressing map from proposal sequence numbers (u64) to
+/// one-byte outcomes, replacing the node-based std::map dedup tables on
+/// the resilient-transfer fault path: every delivery attempt does a find,
+/// so lookups should cost one or two probes in a contiguous table rather
+/// than a pointer chase per tree level.
+///
+/// Deliberately minimal for the dedup use case: insert and find only (a
+/// decided proposal is never un-decided), keys are arbitrary u64 values,
+/// and the table grows by doubling at ~70% occupancy. Linear probing over
+/// a power-of-two capacity with a splitmix64-finalizer hash — sequence
+/// numbers are structured (origin rank in the high bits, counter in the
+/// low), so the finalizer's avalanche is what spreads them.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tlb {
+
+class SeqOutcomeMap {
+public:
+  SeqOutcomeMap() = default;
+
+  /// Record `outcome` for `seq`. Precondition: seq not already present
+  /// (outcomes are immutable once decided).
+  void insert(std::uint64_t seq, char outcome) {
+    if ((size_ + 1) * 10 > capacity() * 7) {
+      grow();
+    }
+    auto& slot = slots_[probe(seq)];
+    TLB_EXPECTS(!slot.used);
+    slot.key = seq;
+    slot.outcome = outcome;
+    slot.used = true;
+    ++size_;
+  }
+
+  /// The recorded outcome for `seq`, or nullptr if none was recorded.
+  [[nodiscard]] char const* find(std::uint64_t seq) const {
+    if (slots_.empty()) {
+      return nullptr;
+    }
+    auto const& slot = slots_[probe(seq)];
+    return slot.used ? &slot.outcome : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+private:
+  struct Slot {
+    std::uint64_t key = 0;
+    char outcome = 0;
+    bool used = false;
+  };
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// splitmix64 finalizer: full-avalanche mix of the key.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Index of `seq`'s slot: its own if present, else the empty slot where
+  /// it would be inserted. Requires a non-full table (the growth policy
+  /// guarantees free slots, so the probe always terminates).
+  [[nodiscard]] std::size_t probe(std::uint64_t seq) const {
+    std::size_t const mask = capacity() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(seq)) & mask;
+    while (slots_[i].used && slots_[i].key != seq) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow() {
+    std::size_t const new_cap = slots_.empty() ? 16 : capacity() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    for (Slot const& slot : old) {
+      if (slot.used) {
+        auto& dest = slots_[probe(slot.key)];
+        dest = slot;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+} // namespace tlb

@@ -97,13 +97,19 @@ TEST(Knowledge, ClearEmpties) {
   EXPECT_FALSE(k.contains(1));
 }
 
-TEST(Knowledge, WireBytesScalesWithEntries) {
+TEST(Knowledge, WireBytesMatchesTheCompactEncoding) {
+  // varint count + delta-varint rank ids + raw f64 loads — not
+  // sizeof(KnownRank), which would bill struct padding to the network.
   Knowledge k;
-  EXPECT_EQ(k.wire_bytes(), 0u);
+  EXPECT_EQ(k.wire_bytes(), 1u); // just the zero count
   k.insert(1, 1.0);
-  auto const one = k.wire_bytes();
+  EXPECT_EQ(k.wire_bytes(), 1 + 1 + 8u);
   k.insert(2, 2.0);
-  EXPECT_EQ(k.wire_bytes(), 2 * one);
+  // Adjacent ranks delta-code to gap 0: one varint byte each.
+  EXPECT_EQ(k.wire_bytes(), 1 + 2 + 16u);
+  k.insert(100000, 3.0);
+  // Gap 99997 needs a 3-byte varint.
+  EXPECT_EQ(k.wire_bytes(), 1 + 2 + 3 + 24u);
 }
 
 TEST(KnowledgeDeath, LoadOfUnknownRankAborts) {

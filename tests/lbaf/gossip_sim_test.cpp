@@ -88,8 +88,12 @@ class GossipCoverage
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(GossipCoverage, OverloadedRanksLearnMostUnderloaded) {
-  // With k >= log_f(P) rounds, overloaded ranks should know nearly all
-  // underloaded ranks with high probability (the paper's §IV-B analysis).
+  // Overloaded ranks should know nearly all underloaded ranks with high
+  // probability (the paper's §IV-B analysis). Peer sets are fixed per
+  // epoch (the static f-out overlay behind the delta wire plane), so
+  // saturation needs k a few rounds past the overlay's log_f(P) diameter
+  // — entries travel one hop per round along fixed edges — rather than
+  // the bare k >= log_f(P) that fresh-peers-per-forward mixing achieves.
   auto const [fanout, rounds] = GetParam();
   constexpr int p = 256;
   std::vector<LoadType> loads(p, 0.0);
@@ -113,9 +117,9 @@ TEST_P(GossipCoverage, OverloadedRanksLearnMostUnderloaded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FanoutRounds, GossipCoverage,
-                         ::testing::Values(std::tuple{4, 6},
-                                           std::tuple{6, 5},
-                                           std::tuple{8, 4}));
+                         ::testing::Values(std::tuple{4, 10},
+                                           std::tuple{6, 8},
+                                           std::tuple{8, 6}));
 
 TEST(GossipSim, FewRoundsGiveOnlyPartialKnowledge) {
   constexpr int p = 512;

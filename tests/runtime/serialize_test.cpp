@@ -97,6 +97,92 @@ TEST(SerializeDeath, TruncatedVectorAborts) {
   EXPECT_DEATH((void)u.unpack_vector<double>(), "precondition");
 }
 
+TEST(SerializeVarint, RoundTripsRepresentativeAndBoundaryValues) {
+  // Every 7-bit length boundary on both sides, plus interior values.
+  std::vector<std::uint64_t> values{0, 1, 100, 127, 128, 300, 16383, 16384,
+                                    (1ull << 21) - 1, 1ull << 21,
+                                    (1ull << 32) - 1, 1ull << 32,
+                                    (1ull << 56) - 1, 1ull << 56,
+                                    (1ull << 63) - 1, 1ull << 63,
+                                    ~std::uint64_t{0}};
+  Packer p;
+  std::size_t expected_size = 0;
+  for (auto const v : values) {
+    p.pack_varint(v);
+    expected_size += varint_size(v);
+  }
+  // The emitted bytes and the size function must agree per value.
+  EXPECT_EQ(p.size(), expected_size);
+  Unpacker u{p.bytes()};
+  for (auto const v : values) {
+    EXPECT_EQ(u.unpack_varint(), v);
+  }
+  EXPECT_TRUE(u.exhausted());
+}
+
+TEST(SerializeVarint, SizeFunctionMatchesLengthBoundaries) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(~std::uint64_t{0}), 10u);
+}
+
+TEST(SerializeVarintDeath, OverflowingEncodingAborts) {
+  // 10 continuation bytes with payload bits beyond bit 63.
+  Packer p;
+  for (int i = 0; i < 9; ++i) {
+    p.pack(static_cast<std::uint8_t>(0xff));
+  }
+  p.pack(static_cast<std::uint8_t>(0x7f)); // final byte: payload too large
+  Unpacker u{p.bytes()};
+  EXPECT_DEATH((void)u.unpack_varint(), "precondition");
+}
+
+TEST(SerializeScratch, ScratchPackerReusesCapacityAndKeepsBytes) {
+  std::vector<std::byte> scratch;
+  {
+    Packer p{scratch};
+    p.pack(std::uint64_t{41});
+    EXPECT_EQ(scratch.size(), sizeof(std::uint64_t));
+  }
+  auto const cap = scratch.capacity();
+  auto const* data = scratch.data();
+  {
+    Packer p{scratch}; // clears but keeps capacity
+    EXPECT_EQ(p.size(), 0u);
+    p.pack(std::uint32_t{7});
+    Unpacker u{p.bytes()};
+    EXPECT_EQ(u.unpack<std::uint32_t>(), 7u);
+  }
+  EXPECT_EQ(scratch.capacity(), cap);
+  EXPECT_EQ(scratch.data(), data); // no reallocation happened
+}
+
+TEST(SerializeScratchDeath, TakeFromScratchPackerAborts) {
+  std::vector<std::byte> scratch;
+  Packer p{scratch};
+  p.pack(1);
+  EXPECT_DEATH((void)std::move(p).take(), "precondition");
+}
+
+TEST(SnapshotPoolTest, RecyclesSlotsOnceReleased) {
+  SnapshotPool pool;
+  auto a = pool.acquire();
+  a->bytes.resize(64);
+  auto b = pool.acquire(); // `a` still held: must be a distinct slot
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(pool.size(), 2u);
+  auto const* recycled = a.get();
+  a.reset();
+  auto c = pool.acquire(); // `a` released: its slot comes back, cleared...
+  EXPECT_EQ(c.get(), recycled);
+  EXPECT_TRUE(c->bytes.empty());
+  EXPECT_GE(c->bytes.capacity(), 64u); // ...with its capacity intact
+  EXPECT_EQ(pool.size(), 2u);          // steady state: no new slots
+}
+
 TEST(SerializeKnowledge, RoundTripPreservesEntries) {
   lb::Knowledge k;
   Rng rng{5};
@@ -104,9 +190,9 @@ TEST(SerializeKnowledge, RoundTripPreservesEntries) {
     k.insert(static_cast<RankId>(i * 3), rng.uniform(0.0, 2.0));
   }
   Packer p;
-  k.pack(p);
-  // The packed size is the wire estimate plus the length prefix.
-  EXPECT_EQ(p.size(), k.wire_bytes() + sizeof(std::uint64_t));
+  k.pack_full(p);
+  // Byte accounting and serializer share one size function: exact match.
+  EXPECT_EQ(p.size(), k.wire_bytes());
   Unpacker u{p.bytes()};
   auto const back = lb::Knowledge::unpack(u);
   EXPECT_TRUE(u.exhausted());
@@ -117,12 +203,49 @@ TEST(SerializeKnowledge, RoundTripPreservesEntries) {
   }
 }
 
+TEST(SerializeKnowledge, CompactEncodingBeatsTheOldStructCopy) {
+  // 256 dense small-id entries: delta-varint ids cost 1 byte each, so the
+  // whole message sits near 9 bytes/entry against the old 16 (struct
+  // padding included) plus its 8-byte length prefix.
+  lb::Knowledge k;
+  for (RankId r = 0; r < 256; ++r) {
+    k.insert(r, 1.0);
+  }
+  std::size_t const old_format = 256 * sizeof(lb::KnownRank) + 8;
+  EXPECT_LT(k.wire_bytes(), old_format * 3 / 5);
+}
+
 TEST(SerializeKnowledge, EmptyKnowledge) {
   lb::Knowledge const k;
   Packer p;
-  k.pack(p);
+  k.pack_full(p);
+  EXPECT_EQ(p.size(), k.wire_bytes());
   Unpacker u{p.bytes()};
   EXPECT_TRUE(lb::Knowledge::unpack(u).empty());
+}
+
+TEST(SerializeKnowledge, UnpackIntoReplacesContentsWithoutReallocating) {
+  lb::Knowledge big;
+  for (RankId r = 0; r < 100; ++r) {
+    big.insert(r, 0.5);
+  }
+  Packer p;
+  big.pack_full(p);
+
+  lb::Knowledge inbox = [] {
+    lb::Knowledge k;
+    for (RankId r = 0; r < 200; ++r) {
+      k.insert(r, 1.0); // pre-grow capacity past the incoming size
+    }
+    return k;
+  }();
+  Unpacker u{p.bytes()};
+  inbox.unpack_into(u);
+  EXPECT_TRUE(u.exhausted());
+  ASSERT_EQ(inbox.size(), 100u);
+  for (RankId r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(inbox.load_of(r), 0.5);
+  }
 }
 
 } // namespace

@@ -1,0 +1,132 @@
+/// \file gossip_wire_equivalence_test.cpp
+/// The delta wire plane's contract: GossipWire::delta is a transport
+/// optimization, not a protocol change. Because every rank gossips over a
+/// peer set fixed for the epoch, each peer receives the sender's whole
+/// forward sequence, and the contiguous deltas (full snapshot first,
+/// deltas after) union to exactly the full-resend payloads — so per-rank
+/// knowledge, and therefore every transfer decision downstream, must be
+/// bit-identical under both modes. Pinned here at 64 and 256 ranks for
+/// both the sequential emulation and the distributed runtime protocol.
+
+#include <gtest/gtest.h>
+
+#include "lb/strategy/gossip_strategy.hpp"
+#include "lbaf/experiment.hpp"
+#include "lbaf/gossip_sim.hpp"
+#include "lbaf/workload.hpp"
+#include "support/rng.hpp"
+
+namespace tlb::lb {
+namespace {
+
+void expect_same_knowledge(std::vector<Knowledge> const& a,
+                           std::vector<Knowledge> const& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    auto const ea = a[r].entries();
+    auto const eb = b[r].entries();
+    ASSERT_EQ(ea.size(), eb.size()) << "rank " << r;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].rank, eb[i].rank) << "rank " << r;
+      EXPECT_EQ(ea[i].load, eb[i].load) << "rank " << r; // bitwise
+    }
+  }
+}
+
+class GossipWireEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GossipWireEquivalence, SimFinalKnowledgeSetsAreIdentical) {
+  auto const p = GetParam();
+  std::vector<LoadType> loads(static_cast<std::size_t>(p), 0.0);
+  Rng gen{33};
+  for (int i = 0; i < p; ++i) {
+    loads[static_cast<std::size_t>(i)] = gen.uniform(0.0, 2.0);
+  }
+  lbaf::GossipStats full_stats;
+  lbaf::GossipStats delta_stats;
+  Rng r1{44};
+  Rng r2{44};
+  auto const full = lbaf::run_gossip(loads, 1.0, 6, 10, r1, &full_stats, 0,
+                                     GossipWire::full);
+  auto const delta = lbaf::run_gossip(loads, 1.0, 6, 10, r2, &delta_stats,
+                                      0, GossipWire::delta);
+  expect_same_knowledge(full, delta);
+  // Identical routing: the overlay is drawn before any payload exists.
+  EXPECT_EQ(full_stats.messages, delta_stats.messages);
+  // And the deltas must actually be cheaper, else the plane is pointless.
+  EXPECT_LT(delta_stats.bytes, full_stats.bytes / 2);
+}
+
+TEST_P(GossipWireEquivalence, SimExperimentDecisionsAreIdentical) {
+  auto const p = static_cast<RankId>(GetParam());
+  lbaf::BimodalSpec const spec;
+  auto const workload =
+      lbaf::make_bimodal(p, std::max<RankId>(2, p / 16), 1500, spec, 99);
+  auto params = LbParams::tempered();
+  params.num_iterations = 3;
+  params.num_trials = 2;
+  params.seed = 1717;
+
+  params.gossip_wire = GossipWire::full;
+  auto const full = lbaf::run_experiment(params, workload);
+  params.gossip_wire = GossipWire::delta;
+  auto const delta = lbaf::run_experiment(params, workload);
+
+  EXPECT_EQ(full.best_imbalance, delta.best_imbalance); // bitwise
+  EXPECT_EQ(full.best_trial, delta.best_trial);
+  EXPECT_EQ(full.best_iteration, delta.best_iteration);
+  EXPECT_EQ(full.best_migrations, delta.best_migrations);
+  ASSERT_EQ(full.records.size(), delta.records.size());
+  std::size_t full_bytes = 0;
+  std::size_t delta_bytes = 0;
+  for (std::size_t i = 0; i < full.records.size(); ++i) {
+    EXPECT_EQ(full.records[i].transfers, delta.records[i].transfers);
+    EXPECT_EQ(full.records[i].rejected, delta.records[i].rejected);
+    EXPECT_EQ(full.records[i].imbalance, delta.records[i].imbalance);
+    EXPECT_EQ(full.records[i].gossip_messages,
+              delta.records[i].gossip_messages);
+    full_bytes += full.records[i].gossip_bytes;
+    delta_bytes += delta.records[i].gossip_bytes;
+  }
+  EXPECT_LT(delta_bytes, full_bytes / 2);
+}
+
+TEST_P(GossipWireEquivalence, RuntimeStrategyDecisionsAreIdentical) {
+  auto const p = static_cast<RankId>(GetParam());
+  StrategyInput input;
+  input.tasks.resize(static_cast<std::size_t>(p));
+  Rng rng{21};
+  TaskId id = 0;
+  for (RankId r = 0; r < p / 8; ++r) {
+    for (int i = 0; i < 30; ++i) {
+      input.tasks[static_cast<std::size_t>(r)].push_back(
+          {id++, rng.uniform(0.5, 1.5)});
+    }
+  }
+  auto run_with = [&](GossipWire wire) {
+    rt::RuntimeConfig cfg;
+    cfg.num_ranks = p;
+    cfg.seed = 555;
+    rt::Runtime rt{cfg};
+    GossipStrategy strategy{GossipStrategy::Flavor::tempered};
+    auto params = LbParams::tempered();
+    params.num_trials = 2;
+    params.num_iterations = 3;
+    params.gossip_wire = wire;
+    return strategy.balance(rt, input, params);
+  };
+  auto const full = run_with(GossipWire::full);
+  auto const delta = run_with(GossipWire::delta);
+  EXPECT_EQ(full.achieved_imbalance, delta.achieved_imbalance); // bitwise
+  EXPECT_EQ(full.migrations, delta.migrations);
+  EXPECT_EQ(full.new_rank_loads, delta.new_rank_loads);
+  // The protocol exchanged the same messages for fewer bytes.
+  EXPECT_EQ(full.cost.lb_messages, delta.cost.lb_messages);
+  EXPECT_LT(delta.cost.lb_bytes, full.cost.lb_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, GossipWireEquivalence,
+                         ::testing::Values(64, 256));
+
+} // namespace
+} // namespace tlb::lb

@@ -1,0 +1,75 @@
+#include "support/seq_outcome_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace tlb {
+namespace {
+
+TEST(SeqOutcomeMap, EmptyMapFindsNothing) {
+  SeqOutcomeMap map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.find(~std::uint64_t{0}), nullptr);
+}
+
+TEST(SeqOutcomeMap, InsertThenFindReturnsTheOutcome) {
+  SeqOutcomeMap map;
+  map.insert(42, 1);
+  map.insert(7, 0);
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 1);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 0);
+  EXPECT_EQ(map.find(43), nullptr);
+}
+
+TEST(SeqOutcomeMap, StructuredSequenceNumbersDoNotCollide) {
+  // The real keys pack the origin rank into the high bits and a local
+  // counter into the low bits — exactly the structure the splitmix64
+  // finalizer must spread across the table.
+  SeqOutcomeMap map;
+  for (std::uint64_t rank = 0; rank < 64; ++rank) {
+    for (std::uint64_t counter = 0; counter < 32; ++counter) {
+      map.insert((rank << 32) | counter,
+                 static_cast<char>((rank + counter) % 2));
+    }
+  }
+  EXPECT_EQ(map.size(), 64u * 32u);
+  for (std::uint64_t rank = 0; rank < 64; ++rank) {
+    for (std::uint64_t counter = 0; counter < 32; ++counter) {
+      auto const* outcome = map.find((rank << 32) | counter);
+      ASSERT_NE(outcome, nullptr) << rank << ":" << counter;
+      EXPECT_EQ(*outcome, static_cast<char>((rank + counter) % 2));
+    }
+  }
+}
+
+TEST(SeqOutcomeMap, GrowthPreservesEveryEntry) {
+  SeqOutcomeMap map;
+  Rng rng{17};
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(rng.uniform_below(~std::uint64_t{0}));
+    map.insert(keys.back(), static_cast<char>(i % 3));
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto const* outcome = map.find(keys[i]);
+    ASSERT_NE(outcome, nullptr);
+    EXPECT_EQ(*outcome, static_cast<char>(i % 3));
+  }
+  // Absent keys still miss after all that growth.
+  EXPECT_EQ(map.find(keys.front() ^ 0x1), nullptr);
+}
+
+TEST(SeqOutcomeMapDeath, ReinsertingADecidedSequenceAborts) {
+  SeqOutcomeMap map;
+  map.insert(9, 1);
+  EXPECT_DEATH(map.insert(9, 0), "precondition");
+}
+
+} // namespace
+} // namespace tlb
